@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test bench figures figures-paper report examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Full benchmark sweep (every table/figure + ablations at reduced scale).
+bench:
+	go test -bench=. -benchmem -run xxx ./...
+
+# Regenerate every table and figure of the paper (quick, shape-preserving).
+figures:
+	go run ./cmd/figures -scale quick -out out
+	go run ./cmd/report -dir out -o out/RESULTS.md
+
+# The full §III-D protocol; expect hours.
+figures-paper:
+	go run ./cmd/figures -scale paper -out out
+	go run ./cmd/report -dir out -o out/RESULTS.md
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/custom_space
+	go run ./examples/strategy_anatomy
+	go run ./examples/surrogate_tuning
+	go run ./examples/model_portability
+	go run ./examples/risk_aware
+	go run ./examples/mpi_applications
+
+clean:
+	rm -rf out test_output.txt bench_output.txt

@@ -1,0 +1,97 @@
+// Command altune runs one active-learning experiment from the command
+// line: pick a benchmark and a sampling strategy, and get the learning
+// curve (RMSE@α and cumulative cost per checkpoint) as a table, with an
+// optional ASCII plot.
+//
+// Usage:
+//
+//	altune -bench atax -strategy PWU [-alpha 0.05] [-scale quick|paper]
+//	       [-seed 42] [-plot] [-compare]
+//
+// With -compare, all six strategies run and the tool prints a comparison
+// table plus (with -plot) the combined learning-curve chart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/experiment"
+	"repro/internal/textplot"
+)
+
+func main() {
+	benchName := flag.String("bench", "atax", "benchmark name ("+strings.Join(bench.Names(), ", ")+")")
+	strategy := flag.String("strategy", "PWU", "sampling strategy (PWU, PBUS, BRS, BestPerf, MaxU, Random)")
+	alpha := flag.Float64("alpha", 0.05, "high-performance proportion for PWU and RMSE@alpha")
+	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
+	seed := flag.Uint64("seed", 42, "root seed")
+	plot := flag.Bool("plot", false, "render an ASCII learning-curve plot")
+	compare := flag.Bool("compare", false, "run all strategies and compare")
+	flag.Parse()
+
+	p, err := bench.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	var sc experiment.Scale
+	switch *scale {
+	case "quick":
+		sc = experiment.Quick()
+	case "paper":
+		sc = experiment.Paper()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+	sc.Alpha = *alpha
+
+	names := []string{*strategy}
+	if *compare {
+		names = []string{"PWU", "PBUS", "BRS", "BestPerf", "MaxU", "Random"}
+	}
+
+	fmt.Printf("benchmark %s: %s\n", p.Name(), p.Description())
+	fmt.Printf("space: %d parameters, log10 size %.1f; platform %s; alpha %.2f; %d reps\n\n",
+		p.Space().NumParams(), p.Space().LogCardinality(), p.Platform().Name, sc.Alpha, sc.Reps)
+
+	results, err := experiment.RunAll(p, names, sc, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare {
+		fmt.Printf("%-10s %12s %12s %14s\n", "strategy", "RMSE(mid)", "RMSE(final)", "CC(final) s")
+		for _, cs := range results {
+			mid := cs.RMSE[len(cs.RMSE)/2]
+			fmt.Printf("%-10s %12.5g %12.5g %14.5g\n", cs.Strategy, mid, cs.RMSE[len(cs.RMSE)-1], cs.CC[len(cs.CC)-1])
+		}
+	} else {
+		cs := results[0]
+		fmt.Printf("%8s %14s %14s %14s\n", "#samples", "RMSE@alpha", "RMSE stddev", "CC (s)")
+		for i := range cs.Samples {
+			fmt.Printf("%8d %14.6g %14.6g %14.6g\n", cs.Samples[i], cs.RMSE[i], cs.RMSEStd[i], cs.CC[i])
+		}
+	}
+
+	if *plot {
+		var series []textplot.Series
+		for _, cs := range results {
+			xs := make([]float64, len(cs.Samples))
+			for j, s := range cs.Samples {
+				xs[j] = float64(s)
+			}
+			series = append(series, textplot.Series{Name: cs.Strategy, X: xs, Y: cs.RMSE})
+		}
+		fmt.Println()
+		fmt.Print(textplot.LinePlot(
+			fmt.Sprintf("%s: RMSE@%.2f vs #samples", p.Name(), sc.Alpha), series, 72, 18, true))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "altune:", err)
+	os.Exit(1)
+}

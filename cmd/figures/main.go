@@ -1,0 +1,102 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section, writing ASCII renderings and CSV data under an
+// output directory.
+//
+// Usage:
+//
+//	figures [-scale quick|paper] [-only fig2,fig7,table1] [-out out] [-seed 42]
+//
+// At -scale quick (the default) each figure takes seconds to minutes and
+// preserves the paper's qualitative shape; -scale paper runs the full
+// §III-D protocol (7000-point pools, 500 labels, 10 repetitions) and can
+// take hours for the complete set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/experiment"
+	"repro/internal/figures"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
+	only := flag.String("only", "", "comma-separated subset (table1..table4, fig2..fig9); empty = all")
+	outDir := flag.String("out", "out", "output directory")
+	seed := flag.Uint64("seed", 42, "root seed")
+	flag.Parse()
+
+	var sc experiment.Scale
+	var appScale *experiment.Scale
+	switch *scale {
+	case "quick":
+		sc = experiment.Quick()
+		app := experiment.QuickApp()
+		appScale = &app
+	case "paper":
+		sc = experiment.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	gen := figures.Generator{
+		Scale:    sc,
+		Seed:     *seed,
+		OutDir:   *outDir,
+		Stdout:   os.Stdout,
+		Kernels:  bench.Kernels(),
+		Apps:     bench.Applications(),
+		AppScale: appScale,
+	}
+
+	artifacts := []struct {
+		name string
+		run  func() error
+	}{
+		{"table1", gen.Table1},
+		{"table2", gen.Table2},
+		{"table3", gen.Table3},
+		{"table4", gen.Table4},
+		{"fig2", gen.Fig2},
+		{"fig3", gen.Fig3},
+		{"fig4", gen.Fig4},
+		{"fig5", gen.Fig5},
+		{"fig6", gen.Fig6},
+		{"fig7", gen.Fig7},
+		{"fig8", gen.Fig8},
+		{"fig9", gen.Fig9},
+	}
+	for _, a := range artifacts {
+		if !selected(a.name) {
+			continue
+		}
+		fmt.Printf("==> generating %s\n", a.name)
+		if err := a.run(); err != nil {
+			fatal(fmt.Errorf("%s: %w", a.name, err))
+		}
+	}
+	fmt.Printf("done; artifacts in %s\n", filepath.Clean(*outDir))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

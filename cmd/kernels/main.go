@@ -1,0 +1,98 @@
+// Command kernels inspects the modeled SPAPT search problems: list the
+// suite, print a kernel's Table I-style parameter summary, or sweep a
+// single parameter to see its marginal effect on the modeled time.
+//
+// Usage:
+//
+//	kernels                          # list the suite
+//	kernels -kernel adi -table      # Table I-style parameter summary
+//	kernels -kernel adi -sweep T1   # marginal sweep of one parameter
+//	kernels -kernel adi -sample 5   # print random configurations + times
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/rng"
+	"repro/internal/spapt"
+	"repro/internal/textplot"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "kernel name; empty lists the suite")
+	table := flag.Bool("table", false, "print the kernel's parameter table")
+	source := flag.Bool("source", false, "print the kernel's reference computation code")
+	sweep := flag.String("sweep", "", "sweep the named parameter, others at baseline")
+	sample := flag.Int("sample", 0, "print N random configurations with modeled times")
+	seed := flag.Uint64("seed", 42, "seed for -sample")
+	flag.Parse()
+
+	if *kernel == "" {
+		fmt.Printf("%-12s %8s %10s  %s\n", "kernel", "#params", "log10|S|", "description")
+		for _, k := range spapt.All() {
+			fmt.Printf("%-12s %8d %10.1f  %s\n", k.Name(), k.NumParams(), k.Space().LogCardinality(), k.Description())
+		}
+		return
+	}
+
+	k, err := spapt.ByName(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *source {
+		fmt.Printf("Main computation code of %s kernel:\n%s\n", k.Name(), k.Source())
+	}
+
+	if *table {
+		fmt.Printf("Compilation parameters of %s kernel\n", k.Name())
+		fmt.Printf("%-15s %-7s %s\n", "Type", "Number", "Values")
+		for _, row := range k.Table() {
+			fmt.Printf("%-15s %-7d %s\n", row.Type, row.Number, row.Values)
+		}
+	}
+
+	if *sweep != "" {
+		sp := k.Space()
+		pi := sp.IndexOf(*sweep)
+		if pi < 0 {
+			fatal(fmt.Errorf("kernel %s has no parameter %q", k.Name(), *sweep))
+		}
+		base := make([]int, sp.NumParams())
+		for i := 0; i < sp.NumParams(); i++ {
+			base[i] = sp.Param(i).NumLevels() / 2
+		}
+		par := sp.Param(pi)
+		var xs, ys []float64
+		fmt.Printf("\nsweep of %s (all other parameters at mid levels):\n", par.Name)
+		fmt.Printf("%12s %14s\n", par.Name, "time (s)")
+		for l := 0; l < par.NumLevels(); l++ {
+			c := append([]int(nil), base...)
+			c[pi] = l
+			y := k.TrueTime(c)
+			fmt.Printf("%12s %14.6g\n", par.LevelString(l), y)
+			xs = append(xs, float64(l))
+			ys = append(ys, y)
+		}
+		fmt.Println()
+		fmt.Print(textplot.LinePlot(
+			fmt.Sprintf("%s: time vs %s level", k.Name(), par.Name),
+			[]textplot.Series{{Name: par.Name, X: xs, Y: ys}}, 60, 12, false))
+	}
+
+	if *sample > 0 {
+		r := rng.New(*seed)
+		fmt.Printf("\n%d random configurations:\n", *sample)
+		for i := 0; i < *sample; i++ {
+			c := k.Space().SampleConfig(r)
+			fmt.Printf("%10.6g s  %s\n", k.TrueTime(c), k.Space().String(c))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kernels:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Command poolgen generates the paper's evaluation datasets — a
+// uniformly sampled configuration pool plus a pre-measured test set — and
+// writes them as CSV for external tools or archival.
+//
+// Usage:
+//
+//	poolgen -bench atax [-pool 7000] [-test 3000] [-seed 42] [-o atax.csv]
+//	poolgen -all -dir pools/      # one CSV per benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "benchmark to sample")
+	all := flag.Bool("all", false, "generate datasets for every benchmark")
+	poolSize := flag.Int("pool", 7000, "pool size")
+	testSize := flag.Int("test", 3000, "test-set size")
+	seed := flag.Uint64("seed", 42, "seed")
+	out := flag.String("o", "", "output file (default <bench>.csv)")
+	dir := flag.String("dir", "pools", "output directory for -all")
+	flag.Parse()
+
+	if *all {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, p := range bench.All() {
+			path := filepath.Join(*dir, p.Name()+".csv")
+			if err := writeDataset(p, *poolSize, *testSize, rng.Mix(*seed, hash(p.Name())), path); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		return
+	}
+
+	if *benchName == "" {
+		fatal(fmt.Errorf("need -bench or -all"))
+	}
+	p, err := bench.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = p.Name() + ".csv"
+	}
+	if err := writeDataset(p, *poolSize, *testSize, *seed, path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d pool + %d test rows)\n", path, *poolSize, *testSize)
+}
+
+func writeDataset(p bench.Problem, poolSize, testSize int, seed uint64, path string) error {
+	ds := dataset.Build(p, poolSize, testSize, rng.New(seed))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ds.WriteCSV(f)
+}
+
+// hash derives a stable per-benchmark seed component from its name.
+func hash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, b := range []byte(s) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "poolgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Command report summarises a cmd/figures output directory as Markdown:
+// per-benchmark endpoints, PWU-vs-PBUS speedups and tuning results.
+//
+// Usage:
+//
+//	report [-dir out] [-o results.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	dir := flag.String("dir", "out", "cmd/figures output directory")
+	out := flag.String("o", "", "write to file instead of stdout")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.Generate(*dir, w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

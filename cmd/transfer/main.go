@@ -1,0 +1,87 @@
+// Command transfer runs the model-portability experiment (the paper's
+// §VI future work): build a kernel model on one platform and reuse it to
+// cut the labeling bill on another.
+//
+// Usage:
+//
+//	transfer -kernel atax [-from A] [-to C] [-reps 5] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/transfer"
+)
+
+func platformByName(name string) (*machine.Platform, error) {
+	switch name {
+	case "A":
+		return machine.PlatformA(), nil
+	case "B":
+		return machine.PlatformB(), nil
+	case "C":
+		return machine.PlatformC(), nil
+	default:
+		return nil, fmt.Errorf("unknown platform %q (have A, B, C)", name)
+	}
+}
+
+func main() {
+	kernel := flag.String("kernel", "atax", "SPAPT kernel to transfer")
+	from := flag.String("from", "A", "source platform (A, B, C)")
+	to := flag.String("to", "C", "target platform (A, B, C)")
+	reps := flag.Int("reps", 5, "repetitions to average")
+	seed := flag.Uint64("seed", 42, "root seed")
+	flag.Parse()
+
+	srcPlat, err := platformByName(*from)
+	if err != nil {
+		fatal(err)
+	}
+	tgtPlat, err := platformByName(*to)
+	if err != nil {
+		fatal(err)
+	}
+	source, err := bench.KernelOn(*kernel, srcPlat)
+	if err != nil {
+		fatal(err)
+	}
+	target, err := bench.KernelOn(*kernel, tgtPlat)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := transfer.Default()
+	fmt.Printf("kernel %s: platform %s -> %s, %d source labels, %d reps\n\n",
+		*kernel, *from, *to, cfg.SourceBudget, *reps)
+
+	cold := make([]float64, len(cfg.TargetBudgets))
+	warm := make([]float64, len(cfg.TargetBudgets))
+	var zeroShot float64
+	for rep := 0; rep < *reps; rep++ {
+		res, err := transfer.Run(source, target, cfg, *seed+uint64(rep))
+		if err != nil {
+			fatal(err)
+		}
+		zeroShot += res.SourceOnlyRMSE / float64(*reps)
+		for i := range cfg.TargetBudgets {
+			cold[i] += res.ColdRMSE[i] / float64(*reps)
+			warm[i] += res.TransferRMSE[i] / float64(*reps)
+		}
+	}
+
+	fmt.Printf("zero-shot source-model RMSE@%.2f on target: %.5g\n\n", cfg.Alpha, zeroShot)
+	fmt.Printf("%-14s %16s %16s %8s\n", "target labels", "from scratch", "transfer", "gain")
+	for i, b := range cfg.TargetBudgets {
+		fmt.Printf("%-14d %16.5g %16.5g %7.1fx\n", b, cold[i], warm[i], cold[i]/warm[i])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "transfer:", err)
+	os.Exit(1)
+}

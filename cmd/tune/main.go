@@ -1,0 +1,59 @@
+// Command tune runs the complete auto-tuning pipeline on a benchmark:
+// PWU active learning builds a surrogate from a bounded budget of real
+// runs, a heuristic searcher mines the surrogate for candidates at zero
+// cost, and the best verified configuration is reported.
+//
+// Usage:
+//
+//	tune -bench atax [-budget 200] [-searcher anneal] [-verify 5] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/autotune"
+	"repro/internal/bench"
+)
+
+func main() {
+	benchName := flag.String("bench", "atax", "benchmark ("+strings.Join(bench.Names(), ", ")+")")
+	budget := flag.Int("budget", 200, "real program runs for the surrogate")
+	searchBudget := flag.Int("search", 20000, "free surrogate evaluations for the searcher")
+	searcher := flag.String("searcher", "anneal", "surrogate searcher: random, hill, anneal")
+	verify := flag.Int("verify", 5, "top candidates re-measured before the final pick")
+	seed := flag.Uint64("seed", 42, "root seed")
+	flag.Parse()
+
+	p, err := bench.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := autotune.Default()
+	cfg.ModelBudget = *budget
+	cfg.SearchBudget = *searchBudget
+	cfg.Searcher = *searcher
+	cfg.Verify = *verify
+
+	fmt.Printf("tuning %s (%s)\n", p.Name(), p.Description())
+	fmt.Printf("pipeline: %d real runs -> %s search x %d -> verify %d\n\n",
+		cfg.ModelBudget, cfg.Searcher, cfg.SearchBudget, cfg.Verify)
+
+	out, err := autotune.Tune(p, cfg, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("best configuration (measured %.5g s, model predicted %.5g s):\n  %s\n\n",
+		out.BestMeasured, out.PredictedBest, p.Space().String(out.Best))
+	fmt.Printf("default configuration: %.5g s -> speedup %.2fx\n", out.BaselineMeasured, out.Speedup)
+	fmt.Printf("cost: %d real runs (%.1f s of machine time), %d free surrogate evaluations\n",
+		out.RealRuns, out.ModelCost, out.SearchEvaluations)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package repro reproduces "An Active Learning Method for Empirical
+// Modeling in Performance Tuning" (Zhang, Zhou, Sun, Sun — IPDPS
+// workshops 2020) as a production-quality Go library.
+//
+// The public API lives in repro/altune; the benchmark harness that
+// regenerates every table and figure of the paper is in bench_test.go
+// (go test -bench .) and cmd/figures. See README.md for a tour, DESIGN.md
+// for the system inventory and the simulation substitutions, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,68 @@
+// MPI applications: model the kripke transport proxy and the hypre
+// linear-solver driver — the paper's two parallel applications — and
+// compare what each sampling strategy costs to reach a usable model.
+//
+// Application runs are expensive (tens to hundreds of simulated
+// seconds), so the choice of sampling strategy directly controls how
+// much machine time model-building burns. This example reports, for each
+// strategy, the model error after a fixed label budget and the machine
+// time spent — the trade-off behind the paper's Figs. 4 and 5.
+//
+// Run with:
+//
+//	go run ./examples/mpi_applications
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/altune"
+)
+
+func main() {
+	for _, name := range []string{"kripke", "hypre"} {
+		p, err := altune.Benchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s: %s ===\n", p.Name(), p.Description())
+		fmt.Printf("platform %s, %d parameters\n\n", p.Platform().Name, p.Space().NumParams())
+
+		sc := altune.QuickScale()
+		sc.Reps = 2 // keep the example snappy
+
+		fmt.Printf("%-10s %14s %16s %18s\n", "strategy", "RMSE@0.05 (s)", "labels used", "machine time (s)")
+		for _, strat := range []string{"PWU", "PBUS", "Random"} {
+			cs, err := altune.RunStrategy(p, strat, sc, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			last := len(cs.RMSE) - 1
+			fmt.Printf("%-10s %14.3f %16d %18.0f\n",
+				strat, cs.RMSE[last], cs.Samples[last], cs.CC[last])
+		}
+
+		// What does the model say the best configuration is?
+		r := altune.NewRNG(11)
+		ds := altune.BuildDataset(p, 1000, 300, r)
+		res, err := altune.Run(p.Space(), ds.Pool,
+			altune.BenchmarkEvaluator(p, altune.NewRNG(12)),
+			altune.PWU{Alpha: 0.05},
+			altune.Params{NInit: 10, NBatch: 5, NMax: 120,
+				Forest: altune.ForestConfig{NumTrees: 64}},
+			altune.NewRNG(13), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, _ := res.Model.PredictBatch(p.Space().EncodeAll(ds.Pool))
+		best, bestV := 0, pred[0]
+		for i, v := range pred {
+			if v < bestV {
+				best, bestV = i, v
+			}
+		}
+		fmt.Printf("\nPWU model's recommended configuration (predicted %.1f s, true %.1f s):\n  %s\n\n",
+			bestV, p.TrueTime(ds.Pool[best]), p.Space().String(ds.Pool[best]))
+	}
+}

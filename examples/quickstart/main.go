@@ -1,0 +1,88 @@
+// Quickstart: build a performance model of one SPAPT kernel with PWU
+// active learning and inspect its accuracy on held-out configurations.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/altune"
+)
+
+func main() {
+	// Pick a benchmark: the atax kernel (y = Aᵀ(Ax)) with its SPAPT
+	// compilation-parameter search space.
+	p, err := altune.Benchmark("atax")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark: %s — %s\n", p.Name(), p.Description())
+	fmt.Printf("parameters: %d, search space: 10^%.1f configurations\n\n",
+		p.Space().NumParams(), p.Space().LogCardinality())
+
+	// Sample a data pool and a held-out test set (the paper uses
+	// 7000/3000; a tenth of that is plenty for a quickstart).
+	r := altune.NewRNG(42)
+	ds := altune.BuildDataset(p, 700, 300, r)
+
+	// Run Algorithm 1 with the paper's PWU strategy: 10 cold-start
+	// samples, then one batch of 10 per iteration up to 150 labels.
+	alpha := 0.05
+	res, err := altune.Run(
+		p.Space(), ds.Pool,
+		altune.BenchmarkEvaluator(p, altune.NewRNG(7)),
+		altune.PWU{Alpha: alpha},
+		altune.Params{NInit: 10, NBatch: 10, NMax: 150,
+			Forest: altune.ForestConfig{NumTrees: 64}},
+		altune.NewRNG(1), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("labeled %d configurations in %d iterations\n",
+		len(res.TrainY), res.Iterations)
+	fmt.Printf("cumulative labeling cost: %.1f s of (simulated) kernel time\n\n",
+		altune.CumulativeCost(res.TrainY))
+
+	// Score the model on the held-out test set: overall and on the
+	// high-performance top 5% (the paper's Eq. 2 metric).
+	pred, sigma := res.Model.PredictBatch(ds.TestX())
+	fmt.Printf("test RMSE (all):      %.4f s\n", rmse(ds.TestY, pred))
+	fmt.Printf("test RMSE (top 5%%):   %.4f s\n", altune.RMSEAtAlpha(ds.TestY, pred, alpha))
+
+	// The model also quantifies its own uncertainty — the ingredient the
+	// sampling strategies are built on.
+	fmt.Printf("mean predictive sigma: %.4f s\n\n", mean(sigma))
+
+	// Ask the model for the most promising configuration in the pool.
+	bestI, bestPred := 0, pred[0]
+	poolPred, _ := res.Model.PredictBatch(p.Space().EncodeAll(ds.Pool))
+	for i, v := range poolPred {
+		if v < bestPred {
+			bestI, bestPred = i, v
+		}
+	}
+	fmt.Printf("model's favourite configuration (predicted %.4f s):\n  %s\n",
+		bestPred, p.Space().String(ds.Pool[bestI]))
+}
+
+func rmse(y, yhat []float64) float64 {
+	var sse float64
+	for i := range y {
+		d := y[i] - yhat[i]
+		sse += d * d
+	}
+	return math.Sqrt(sse / float64(len(y)))
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,102 @@
+// Strategy anatomy: visualize *why* PWU beats PBUS — the paper's Fig. 9
+// case study — by printing where in the (predicted time, uncertainty)
+// plane each strategy spends its evaluation budget.
+//
+// PBUS filters to the predicted-fast subset first and only then looks at
+// uncertainty, so it keeps re-sampling a low-uncertainty corner it
+// already knows. PWU scores every candidate by sigma/mu^(1-alpha) and
+// therefore also buys information in the uncertain part of the
+// high-performance region.
+//
+// Run with:
+//
+//	go run ./examples/strategy_anatomy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/altune"
+)
+
+func main() {
+	p, err := altune.Benchmark("atax")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, strat := range []string{"PBUS", "PWU"} {
+		// Run Algorithm 1 with selection recording.
+		r := altune.NewRNG(99)
+		ds := altune.BuildDataset(p, 1200, 300, r)
+		strategy, err := altune.StrategyByName(strat, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := altune.Run(p.Space(), ds.Pool,
+			altune.BenchmarkEvaluator(p, altune.NewRNG(100)),
+			strategy,
+			altune.Params{NInit: 10, NBatch: 5, NMax: 150,
+				Forest: altune.ForestConfig{NumTrees: 48}, RecordSelections: true},
+			altune.NewRNG(101), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Bucket the selections by the final model's view of the pool.
+		pred, sigma := res.Model.PredictBatch(p.Space().EncodeAll(ds.Pool))
+		muMed := median(pred)
+		sigMed := median(sigma)
+
+		var fastCertain, fastUncertain, slowCertain, slowUncertain int
+		for _, sel := range res.Selections {
+			fast := sel.Mu <= muMed
+			uncertain := sel.Sigma > sigMed
+			switch {
+			case fast && uncertain:
+				fastUncertain++
+			case fast:
+				fastCertain++
+			case uncertain:
+				slowUncertain++
+			default:
+				slowCertain++
+			}
+		}
+		total := len(res.Selections)
+		fmt.Printf("=== %s: where did %d selections go? ===\n", strat, total)
+		fmt.Printf("  fast & uncertain   %3d (%4.1f%%)  <- the informative high-performance region\n",
+			fastUncertain, pct(fastUncertain, total))
+		fmt.Printf("  fast & certain     %3d (%4.1f%%)  <- redundancy: model already knows these\n",
+			fastCertain, pct(fastCertain, total))
+		fmt.Printf("  slow & uncertain   %3d (%4.1f%%)\n", slowUncertain, pct(slowUncertain, total))
+		fmt.Printf("  slow & certain     %3d (%4.1f%%)\n\n", slowCertain, pct(slowCertain, total))
+
+		final := altune.RMSEAtAlpha(ds.TestY, predictOn(res, p, ds), 0.05)
+		fmt.Printf("  final RMSE@0.05 = %.4f, labeling cost = %.1f s\n\n",
+			final, altune.CumulativeCost(res.TrainY))
+	}
+}
+
+func predictOn(res *altune.Result, p altune.Problem, ds *altune.Dataset) []float64 {
+	pred, _ := res.Model.PredictBatch(ds.TestX())
+	return pred
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

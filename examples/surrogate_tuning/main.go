@@ -1,0 +1,73 @@
+// Surrogate tuning (the paper's Fig. 8 case study): build a surrogate
+// model of the atax kernel with PWU active learning, then tune the
+// kernel twice — once against the real (simulated) machine and once
+// against the surrogate — and compare both the quality of the result and
+// the cost of getting there.
+//
+// Run with:
+//
+//	go run ./examples/surrogate_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/altune"
+)
+
+func main() {
+	p, err := altune.Benchmark("atax")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: active learning builds the surrogate. This is the only
+	// part that pays real execution cost.
+	r := altune.NewRNG(2024)
+	ds := altune.BuildDataset(p, 1500, 500, r)
+	res, err := altune.Run(
+		p.Space(), ds.Pool,
+		altune.BenchmarkEvaluator(p, altune.NewRNG(1)),
+		altune.PWU{Alpha: 0.05},
+		altune.Params{NInit: 10, NBatch: 5, NMax: 250,
+			Forest: altune.ForestConfig{NumTrees: 64}},
+		altune.NewRNG(2), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildCost := altune.CumulativeCost(res.TrainY)
+	fmt.Printf("surrogate built from %d labels, costing %.1f s of machine time\n\n",
+		len(res.TrainY), buildCost)
+
+	// Phase 2: tune over a fresh candidate set with both annotators.
+	cands := p.Space().SampleConfigs(altune.NewRNG(3), 800)
+	params := altune.TuningParams{NInit: 10, Iterations: 120,
+		Forest: altune.ForestConfig{NumTrees: 32}}
+
+	direct, err := altune.Tune(p, cands,
+		altune.NewTrueAnnotator(p, altune.NewRNG(4)), params, altune.NewRNG(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	surrogate, err := altune.Tune(p, cands,
+		altune.NewSurrogateAnnotator(p.Space(), res.Model), params, altune.NewRNG(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-18s %16s %16s\n", "iteration", "direct best (s)", "surrogate best (s)")
+	for _, it := range []int{0, 10, 20, 40, 80, 120} {
+		if it >= len(direct.BestTrue) {
+			break
+		}
+		fmt.Printf("%-18d %16.4f %16.4f\n", it, direct.BestTrue[it], surrogate.BestTrue[it])
+	}
+
+	dBest := direct.BestTrue[len(direct.BestTrue)-1]
+	sBest := surrogate.BestTrue[len(surrogate.BestTrue)-1]
+	fmt.Printf("\nfinal best: direct %.4f s, surrogate %.4f s (ratio %.2f)\n", dBest, sBest, sBest/dBest)
+	fmt.Printf("direct tuning executed the kernel %d times; surrogate tuning executed it 0 times\n",
+		len(direct.BestTrue)-1+10)
+	fmt.Printf("\nbest configuration found via surrogate:\n  %s\n", p.Space().String(surrogate.BestCfg))
+}

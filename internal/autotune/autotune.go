@@ -1,0 +1,179 @@
+// Package autotune assembles the complete auto-tuning pipeline the paper
+// builds toward: spend a modest budget of real runs on PWU active
+// learning to obtain a surrogate, search the surrogate heuristically at
+// zero marginal cost, then verify the most promising candidates with a
+// handful of real measurements and return the best.
+//
+// The division of labour mirrors the paper's Fig. 8 case study: the
+// surrogate "enables negligible cost of thousands of annotations", so
+// the search phase can afford to be exhaustive where direct tuning could
+// not.
+package autotune
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/space"
+)
+
+// Config sizes the pipeline phases.
+type Config struct {
+	// PoolSize is the unlabeled pool for the active-learning phase.
+	PoolSize int
+
+	// ModelBudget is the number of real program runs spent building the
+	// surrogate (Algorithm 1 with PWU).
+	ModelBudget int
+
+	// Alpha is the PWU high-performance proportion.
+	Alpha float64
+
+	// Forest configures the surrogate.
+	Forest forest.Config
+
+	// Searcher names the surrogate optimiser: "random", "hill",
+	// "anneal".
+	Searcher string
+
+	// SearchBudget is the number of surrogate evaluations the searcher
+	// may spend (these are free in real time).
+	SearchBudget int
+
+	// Verify is the number of distinct top candidates re-measured with
+	// real runs before the final pick.
+	Verify int
+}
+
+// Default returns a balanced configuration.
+func Default() Config {
+	return Config{
+		PoolSize:     2000,
+		ModelBudget:  200,
+		Alpha:        0.05,
+		Forest:       forest.Config{NumTrees: 64},
+		Searcher:     "anneal",
+		SearchBudget: 20000,
+		Verify:       5,
+	}
+}
+
+// Outcome is a completed tuning run.
+type Outcome struct {
+	// Best is the selected configuration; BestMeasured its real
+	// (measured) execution time.
+	Best         space.Config
+	BestMeasured float64
+
+	// BaselineMeasured is the measured time of the all-default
+	// configuration (every parameter at its first level), and Speedup
+	// the ratio baseline/best.
+	BaselineMeasured float64
+	Speedup          float64
+
+	// ModelCost is the cumulative real time spent labeling during the
+	// active-learning phase (the paper's CC), and RealRuns the total
+	// count of real executions including verification.
+	ModelCost float64
+	RealRuns  int
+
+	// SearchEvaluations counts the free surrogate evaluations.
+	SearchEvaluations int
+
+	// PredictedBest is the surrogate's belief about Best, for
+	// model-trust diagnostics.
+	PredictedBest float64
+}
+
+// Tune runs the full pipeline on problem p.
+func Tune(p bench.Problem, cfg Config, seed uint64) (*Outcome, error) {
+	if cfg.ModelBudget < 20 {
+		return nil, fmt.Errorf("autotune: model budget %d too small", cfg.ModelBudget)
+	}
+	if cfg.Verify < 1 {
+		return nil, fmt.Errorf("autotune: verify count %d", cfg.Verify)
+	}
+	searcher, err := search.ByName(cfg.Searcher)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	sp := p.Space()
+	ev := bench.Evaluator(p, r.Split())
+
+	// Phase 1: surrogate via PWU active learning.
+	pool := sp.SampleConfigs(r.Split(), cfg.PoolSize)
+	res, err := core.Run(sp, pool, ev, core.PWU{Alpha: cfg.Alpha},
+		core.Params{NInit: 10, NBatch: 5, NMax: cfg.ModelBudget, Forest: cfg.Forest}, r.Split(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("autotune: model phase: %w", err)
+	}
+	out := &Outcome{
+		ModelCost: metrics.CumulativeCost(res.TrainY),
+		RealRuns:  len(res.TrainY),
+	}
+
+	// Phase 2: heuristic search over the surrogate (free).
+	model := res.Model
+	obj := func(c space.Config) float64 { return model.Predict(sp.Encode(c)) }
+	sres, err := searcher(sp, obj, cfg.SearchBudget, r.Split())
+	if err != nil {
+		return nil, fmt.Errorf("autotune: search phase: %w", err)
+	}
+	out.SearchEvaluations = sres.Evaluations
+
+	// Phase 3: verify the search winner plus the best predicted labeled
+	// configs and distinct random elite candidates.
+	candidates := topCandidates(sp, model, sres, res, cfg.Verify)
+	bestV := 0.0
+	for i, c := range candidates {
+		v := ev.Evaluate(c)
+		out.RealRuns++
+		if i == 0 || v < bestV {
+			bestV = v
+			out.Best = c.Clone()
+		}
+	}
+	out.BestMeasured = bestV
+	out.PredictedBest = obj(out.Best)
+
+	baseline := make(space.Config, sp.NumParams())
+	out.BaselineMeasured = ev.Evaluate(baseline)
+	out.RealRuns++
+	if out.BestMeasured > 0 {
+		out.Speedup = out.BaselineMeasured / out.BestMeasured
+	}
+	return out, nil
+}
+
+// topCandidates assembles up to n distinct verification candidates: the
+// search winner first, then the best labeled configurations by measured
+// time.
+func topCandidates(sp *space.Space, model core.Model, sres *search.Result, ares *core.Result, n int) []space.Config {
+	out := []space.Config{sres.Best}
+	seen := map[string]bool{sres.Best.Key(): true}
+
+	order := make([]int, len(ares.TrainY))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ares.TrainY[order[a]] < ares.TrainY[order[b]] })
+	for _, i := range order {
+		if len(out) >= n {
+			break
+		}
+		c := ares.TrainConfigs[i]
+		if seen[c.Key()] {
+			continue
+		}
+		seen[c.Key()] = true
+		out = append(out, c)
+	}
+	return out
+}

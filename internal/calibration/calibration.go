@@ -1,0 +1,114 @@
+// Package calibration quantifies how honest a surrogate's uncertainty
+// estimates are. Every sampling strategy in this repository consumes the
+// model's σ; the paper's §II-B argues the random forest's between-tree
+// spread is "an accurate representative of the uncertainty of
+// prediction". This package makes that claim checkable:
+//
+//   - Coverage: the fraction of held-out residuals that fall within
+//     z·σ of the prediction, compared against the Gaussian ideal
+//     (68.3% at 1σ, 95.4% at 2σ). Coverage far below ideal means σ is
+//     overconfident; far above means it is wastefully wide.
+//   - Sharpness: the mean σ — honest uncertainty should also be tight.
+//   - Z-score moments: standardized residuals (y−μ)/σ should have
+//     roughly zero mean and unit variance for a calibrated model.
+//
+// The ablation benchmarks use these numbers to compare the forest's two
+// σ estimators and the GP.
+package calibration
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Report summarises the calibration of one model on one test set.
+type Report struct {
+	// N is the number of test points used (points with σ = 0 and a
+	// non-zero residual are counted in ZeroSigmaMisses instead).
+	N int
+
+	// Coverage1 and Coverage2 are the fractions of residuals within 1σ
+	// and 2σ. Gaussian ideals: 0.683 and 0.954.
+	Coverage1, Coverage2 float64
+
+	// Sharpness is the mean σ.
+	Sharpness float64
+
+	// ZMean and ZVar are the mean and variance of (y−μ)/σ.
+	ZMean, ZVar float64
+
+	// ZeroSigmaMisses counts test points where the model claimed σ = 0
+	// but was wrong — the worst calibration failure.
+	ZeroSigmaMisses int
+}
+
+// Evaluate computes a calibration report from parallel slices of
+// observations, prediction means and prediction uncertainties.
+func Evaluate(y, mu, sigma []float64) (*Report, error) {
+	if len(y) != len(mu) || len(y) != len(sigma) {
+		return nil, fmt.Errorf("calibration: length mismatch %d/%d/%d", len(y), len(mu), len(sigma))
+	}
+	if len(y) == 0 {
+		return nil, fmt.Errorf("calibration: empty test set")
+	}
+	r := &Report{}
+	var zs []float64
+	var within1, within2 int
+	for i := range y {
+		resid := y[i] - mu[i]
+		if sigma[i] <= 0 {
+			if resid != 0 {
+				r.ZeroSigmaMisses++
+			} else {
+				// A confident and correct prediction: counts toward
+				// coverage at every level.
+				r.N++
+				within1++
+				within2++
+			}
+			continue
+		}
+		r.N++
+		r.Sharpness += sigma[i]
+		z := resid / sigma[i]
+		zs = append(zs, z)
+		if math.Abs(z) <= 1 {
+			within1++
+		}
+		if math.Abs(z) <= 2 {
+			within2++
+		}
+	}
+	if r.N == 0 {
+		return nil, fmt.Errorf("calibration: no usable test points (all zero-sigma misses)")
+	}
+	r.Coverage1 = float64(within1) / float64(r.N)
+	r.Coverage2 = float64(within2) / float64(r.N)
+	r.Sharpness /= float64(r.N)
+	if len(zs) > 0 {
+		r.ZMean = stats.Mean(zs)
+		r.ZVar = stats.Variance(zs)
+	}
+	return r, nil
+}
+
+// GaussianIdeal1 and GaussianIdeal2 are the coverage targets at 1σ and
+// 2σ for a perfectly calibrated Gaussian predictive distribution.
+const (
+	GaussianIdeal1 = 0.6827
+	GaussianIdeal2 = 0.9545
+)
+
+// Miscalibration returns a single scalar summary: the absolute coverage
+// gaps at 1σ and 2σ, averaged. Zero is perfect.
+func (r *Report) Miscalibration() float64 {
+	return (math.Abs(r.Coverage1-GaussianIdeal1) + math.Abs(r.Coverage2-GaussianIdeal2)) / 2
+}
+
+// String renders the report for logs.
+func (r *Report) String() string {
+	return fmt.Sprintf("n=%d cover1=%.3f (ideal %.3f) cover2=%.3f (ideal %.3f) sharpness=%.4g zmean=%.3f zvar=%.3f zero-sigma-misses=%d",
+		r.N, r.Coverage1, GaussianIdeal1, r.Coverage2, GaussianIdeal2, r.Sharpness, r.ZMean, r.ZVar, r.ZeroSigmaMisses)
+}

@@ -1,0 +1,171 @@
+package calibration
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/gp"
+	"repro/internal/rng"
+	"repro/internal/space"
+	"repro/internal/tree"
+)
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate([]float64{1}, []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Evaluate(nil, nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Evaluate([]float64{1}, []float64{2}, []float64{0}); err == nil {
+		t.Fatal("all zero-sigma misses accepted")
+	}
+}
+
+func TestPerfectGaussianCalibration(t *testing.T) {
+	// Residuals drawn exactly from N(0, σ) per point: coverage must land
+	// near the Gaussian ideals and z-scores near (0, 1).
+	r := rng.New(1)
+	n := 50000
+	y := make([]float64, n)
+	mu := make([]float64, n)
+	sigma := make([]float64, n)
+	for i := range y {
+		mu[i] = r.Float64() * 10
+		sigma[i] = 0.5 + r.Float64()
+		y[i] = mu[i] + r.Normal(0, sigma[i])
+	}
+	rep, err := Evaluate(y, mu, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Coverage1-GaussianIdeal1) > 0.01 || math.Abs(rep.Coverage2-GaussianIdeal2) > 0.01 {
+		t.Fatalf("coverage %v/%v off ideal", rep.Coverage1, rep.Coverage2)
+	}
+	if math.Abs(rep.ZMean) > 0.02 || math.Abs(rep.ZVar-1) > 0.05 {
+		t.Fatalf("z moments %v/%v", rep.ZMean, rep.ZVar)
+	}
+	if rep.Miscalibration() > 0.01 {
+		t.Fatalf("miscalibration %v", rep.Miscalibration())
+	}
+}
+
+func TestOverconfidenceDetected(t *testing.T) {
+	// σ reported 5x too small: coverage collapses.
+	r := rng.New(2)
+	n := 20000
+	y := make([]float64, n)
+	mu := make([]float64, n)
+	sigma := make([]float64, n)
+	for i := range y {
+		mu[i] = 0
+		sigma[i] = 0.2 // claimed
+		y[i] = r.Normal(0, 1)
+	}
+	rep, err := Evaluate(y, mu, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage1 > 0.3 {
+		t.Fatalf("overconfidence not detected: cover1 = %v", rep.Coverage1)
+	}
+	if rep.Miscalibration() < 0.3 {
+		t.Fatalf("miscalibration too low: %v", rep.Miscalibration())
+	}
+}
+
+func TestZeroSigmaMissCounting(t *testing.T) {
+	y := []float64{1, 2, 3}
+	mu := []float64{1, 2, 5}
+	sigma := []float64{0, 1, 0}
+	rep, err := Evaluate(y, mu, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point 0: zero sigma, correct -> counted, covered.
+	// Point 1: normal. Point 2: zero sigma, wrong -> miss.
+	if rep.ZeroSigmaMisses != 1 || rep.N != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "zero-sigma-misses=1") {
+		t.Fatal("String() missing miss count")
+	}
+}
+
+// mkRegression builds a noisy 2-feature regression problem.
+func mkRegression(r *rng.RNG, n int) ([][]float64, []float64, []space.Feature) {
+	fs := []space.Feature{
+		{Name: "a", Kind: space.FeatNumeric},
+		{Name: "b", Kind: space.FeatNumeric},
+	}
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{r.Float64() * 4, r.Float64() * 4}
+		y[i] = math.Sin(X[i][0])*3 + X[i][1] + r.Normal(0, 0.3)
+	}
+	return X, y, fs
+}
+
+func TestForestTotalVarianceBetterCalibratedThanBetweenTrees(t *testing.T) {
+	// On noisy data the between-tree spread ignores the within-leaf
+	// noise and is overconfident; the law-of-total-variance estimator
+	// should cover better (this is exactly why Hutter et al. use it).
+	r := rng.New(3)
+	X, y, fs := mkRegression(r, 600)
+	Xt, yt, _ := mkRegression(r, 400)
+
+	evalWith := func(u forest.UncertaintyKind) *Report {
+		f, err := forest.Fit(X, y, fs, forest.Config{NumTrees: 64, Uncertainty: u,
+			Tree: tree.Config{MinSamplesLeaf: 4}}, rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu, sigma := f.PredictBatch(Xt)
+		rep, err := Evaluate(yt, mu, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	between := evalWith(forest.BetweenTrees)
+	total := evalWith(forest.TotalVariance)
+	if total.Coverage1 <= between.Coverage1 {
+		t.Fatalf("total variance cover1 %v not above between-tree %v", total.Coverage1, between.Coverage1)
+	}
+}
+
+func TestGPWellCalibratedOnSmoothNoise(t *testing.T) {
+	r := rng.New(5)
+	X, y, fs := mkRegression(r, 300)
+	Xt, yt, _ := mkRegression(r, 300)
+	g, err := gp.Fit(X, y, fs, gp.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The latent sigma excludes observation noise and must be
+	// overconfident against noisy measurements...
+	muL, sigmaL := g.PredictBatch(Xt)
+	latent, err := Evaluate(yt, muL, sigmaL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...while the observation-variance prediction should cover well.
+	mu := make([]float64, len(Xt))
+	sigma := make([]float64, len(Xt))
+	for i, x := range Xt {
+		mu[i], sigma[i] = g.PredictObservedWithUncertainty(x)
+	}
+	observed, err := Evaluate(yt, mu, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Coverage1 <= latent.Coverage1 {
+		t.Fatalf("observation variance did not improve coverage: %v vs %v", observed.Coverage1, latent.Coverage1)
+	}
+	if observed.Coverage2 < 0.8 {
+		t.Fatalf("GP observation calibration implausible: %s", observed)
+	}
+}

@@ -1,0 +1,296 @@
+// Package core implements the paper's primary contribution: the active
+// learning loop of Algorithm 1 and the sampling strategies it compares —
+// most importantly Performance Weighted Uncertainty (PWU).
+//
+// The loop (Fig. 1 of the paper):
+//
+//  1. Sample n_init configurations uniformly from the unlabeled pool and
+//     evaluate them (cold-start phase).
+//  2. Fit a random forest to the labeled set.
+//  3. Ask the sampling strategy for the next batch, using the forest's
+//     per-configuration prediction mean μ and uncertainty σ over the
+//     remaining pool.
+//  4. Evaluate the batch, append it to the training set, refit, repeat
+//     until n_max samples are labeled.
+//
+// Everything is deterministic given the caller-provided generator.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/forest"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// Evaluator labels a configuration with its measured performance
+// (execution time in seconds; smaller is better). Implementations live in
+// the benchmark substrates (internal/spapt, internal/kripke,
+// internal/hypre).
+type Evaluator interface {
+	Evaluate(c space.Config) float64
+}
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc func(c space.Config) float64
+
+// Evaluate calls f(c).
+func (f EvaluatorFunc) Evaluate(c space.Config) float64 { return f(c) }
+
+// Model is the surrogate interface Algorithm 1 requires: point
+// predictions plus per-prediction uncertainty. forest.Forest is the
+// default implementation; internal/gp provides the Gaussian-process
+// comparator discussed in the paper's §II-B.
+type Model interface {
+	// Predict returns the point prediction for one feature vector.
+	Predict(x []float64) float64
+
+	// PredictBatch returns prediction means and uncertainties for a
+	// batch of feature vectors.
+	PredictBatch(X [][]float64) (mu, sigma []float64)
+}
+
+// Fitter builds a surrogate from the current labeled set. Params.Fitter
+// defaults to random-forest fitting with Params.Forest.
+type Fitter func(X [][]float64, y []float64, features []space.Feature, r *rng.RNG) (Model, error)
+
+// Updatable is an optional Model capability: a warm partial refit on the
+// grown training set, instead of training from scratch (the "updated
+// partially" path of the paper's Fig. 1 caption).
+type Updatable interface {
+	// Update refits the model in place given the full current training
+	// set (old samples first, new samples appended at the end).
+	Update(X [][]float64, y []float64, r *rng.RNG) error
+}
+
+// Params are Algorithm 1's knobs. The paper's defaults (§III-D) are
+// NInit = 10, NBatch = 1, NMax = 500.
+type Params struct {
+	// NInit is the cold-start training-set size.
+	NInit int
+
+	// NBatch is the number of configurations evaluated per iteration.
+	NBatch int
+
+	// NMax is the final training-set size; the loop stops once reached.
+	NMax int
+
+	// Forest configures the surrogate model refitted every iteration.
+	// Ignored when Fitter is set.
+	Forest forest.Config
+
+	// Fitter overrides the surrogate; nil means random forest with the
+	// Forest configuration.
+	Fitter Fitter
+
+	// WarmUpdate refits via Model.Update when the model supports it
+	// (partial update) instead of training from scratch each iteration.
+	WarmUpdate bool
+
+	// RecordSelections retains the (μ, σ) of every strategy-selected
+	// sample at selection time, for Fig. 9-style scatter analyses.
+	RecordSelections bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.NInit <= 0 {
+		p.NInit = 10
+	}
+	if p.NBatch <= 0 {
+		p.NBatch = 1
+	}
+	if p.NMax <= 0 {
+		p.NMax = 500
+	}
+	return p
+}
+
+// Selection records one strategy decision for later analysis.
+type Selection struct {
+	Config    space.Config
+	Mu, Sigma float64 // model belief at selection time
+	Y         float64 // measured value
+	Iteration int     // 1-based iteration of the loop phase
+}
+
+// State is the live state of a run, passed to the per-iteration observer.
+type State struct {
+	// Model is the surrogate fitted to the current training set. Valid
+	// only during the observer call; do not retain it across iterations.
+	Model Model
+
+	// TrainConfigs / TrainY are the labeled samples so far, in labeling
+	// order (cold-start samples first).
+	TrainConfigs []space.Config
+	TrainY       []float64
+
+	// Iteration counts completed loop iterations; it is 0 for the
+	// observer call right after the cold start.
+	Iteration int
+}
+
+// Observer is invoked after every model (re)fit, i.e. once after the cold
+// start and once per loop iteration. Returning an error aborts the run.
+type Observer func(s *State) error
+
+// Result is the outcome of a completed run.
+type Result struct {
+	TrainConfigs []space.Config
+	TrainY       []float64
+	Model        Model
+	Selections   []Selection // nil unless Params.RecordSelections
+	Iterations   int
+}
+
+// Run executes Algorithm 1.
+//
+// sp describes the parameter space; pool is the unlabeled data pool
+// X_pool (the surrogate of the whole space); ev labels configurations;
+// strat picks batches; r provides all randomness; obs may be nil.
+//
+// The pool slice is not modified; Run tracks membership internally.
+func Run(sp *space.Space, pool []space.Config, ev Evaluator, strat Strategy, params Params, r *rng.RNG, obs Observer) (*Result, error) {
+	p := params.withDefaults()
+	if sp == nil {
+		return nil, fmt.Errorf("core: nil space")
+	}
+	if ev == nil || strat == nil || r == nil {
+		return nil, fmt.Errorf("core: nil evaluator, strategy or generator")
+	}
+	if len(pool) < p.NInit {
+		return nil, fmt.Errorf("core: pool size %d smaller than NInit %d", len(pool), p.NInit)
+	}
+	if p.NMax > len(pool) {
+		return nil, fmt.Errorf("core: NMax %d exceeds pool size %d", p.NMax, len(pool))
+	}
+	if p.NInit > p.NMax {
+		return nil, fmt.Errorf("core: NInit %d exceeds NMax %d", p.NInit, p.NMax)
+	}
+
+	// Encode the pool once; the forest consumes feature vectors.
+	poolX := sp.EncodeAll(pool)
+	features := sp.Features()
+
+	// remaining holds pool indices still unlabeled, in stable order.
+	remaining := make([]int, len(pool))
+	for i := range remaining {
+		remaining[i] = i
+	}
+
+	res := &Result{}
+
+	// Cold-start phase: uniform sample of NInit pool entries.
+	initSel := r.Sample(len(remaining), p.NInit)
+	taken := make(map[int]bool, p.NInit)
+	for _, k := range initSel {
+		idx := remaining[k]
+		taken[idx] = true
+		cfg := pool[idx]
+		y := ev.Evaluate(cfg)
+		res.TrainConfigs = append(res.TrainConfigs, cfg)
+		res.TrainY = append(res.TrainY, y)
+	}
+	remaining = compact(remaining, taken)
+
+	trainX := make([][]float64, 0, p.NMax)
+	for _, cfg := range res.TrainConfigs {
+		trainX = append(trainX, sp.Encode(cfg))
+	}
+
+	fitter := p.Fitter
+	if fitter == nil {
+		fc := p.Forest
+		fitter = func(X [][]float64, y []float64, fs []space.Feature, fr *rng.RNG) (Model, error) {
+			return forest.Fit(X, y, fs, fc, fr)
+		}
+	}
+
+	model, err := fitter(trainX, res.TrainY, features, r.Split())
+	if err != nil {
+		return nil, fmt.Errorf("core: cold-start fit: %w", err)
+	}
+	if obs != nil {
+		if err := obs(&State{Model: model, TrainConfigs: res.TrainConfigs, TrainY: res.TrainY, Iteration: 0}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Iteration phase.
+	iter := 0
+	for len(res.TrainY) < p.NMax {
+		iter++
+		batch := p.NBatch
+		if rem := p.NMax - len(res.TrainY); batch > rem {
+			batch = rem
+		}
+
+		candX := make([][]float64, len(remaining))
+		for i, idx := range remaining {
+			candX[i] = poolX[idx]
+		}
+		mu, sigma := model.PredictBatch(candX)
+		bestY := res.TrainY[0]
+		for _, y := range res.TrainY[1:] {
+			if y < bestY {
+				bestY = y
+			}
+		}
+		sel := strat.Select(&Candidates{X: candX, Mu: mu, Sigma: sigma, BestY: bestY, Rand: r}, batch)
+		if len(sel) == 0 {
+			return nil, fmt.Errorf("core: strategy %q selected nothing at iteration %d", strat.Name(), iter)
+		}
+
+		taken = make(map[int]bool, len(sel))
+		for _, k := range sel {
+			if k < 0 || k >= len(remaining) {
+				return nil, fmt.Errorf("core: strategy %q returned out-of-range index %d", strat.Name(), k)
+			}
+			idx := remaining[k]
+			if taken[idx] {
+				return nil, fmt.Errorf("core: strategy %q returned duplicate index %d", strat.Name(), k)
+			}
+			taken[idx] = true
+			cfg := pool[idx]
+			y := ev.Evaluate(cfg)
+			res.TrainConfigs = append(res.TrainConfigs, cfg)
+			res.TrainY = append(res.TrainY, y)
+			trainX = append(trainX, poolX[idx])
+			if p.RecordSelections {
+				res.Selections = append(res.Selections, Selection{
+					Config: cfg, Mu: mu[k], Sigma: sigma[k], Y: y, Iteration: iter,
+				})
+			}
+		}
+		remaining = compact(remaining, taken)
+
+		if u, ok := model.(Updatable); p.WarmUpdate && ok {
+			err = u.Update(trainX, res.TrainY, r.Split())
+		} else {
+			model, err = fitter(trainX, res.TrainY, features, r.Split())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: refit at iteration %d: %w", iter, err)
+		}
+		if obs != nil {
+			if err := obs(&State{Model: model, TrainConfigs: res.TrainConfigs, TrainY: res.TrainY, Iteration: iter}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res.Model = model
+	res.Iterations = iter
+	return res, nil
+}
+
+// compact removes the taken pool indices from remaining, preserving order.
+func compact(remaining []int, taken map[int]bool) []int {
+	out := remaining[:0]
+	for _, idx := range remaining {
+		if !taken[idx] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}

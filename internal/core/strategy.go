@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Candidates is what a Strategy sees each iteration: the remaining pool's
+// feature vectors with the current model's beliefs about them. Indices
+// into these slices are "candidate indices"; Select returns them.
+type Candidates struct {
+	X         [][]float64
+	Mu, Sigma []float64
+
+	// BestY is the best (smallest) observed training label so far, the
+	// incumbent that acquisition functions like EI improve upon.
+	BestY float64
+
+	Rand *rng.RNG
+}
+
+// Len returns the number of candidates.
+func (c *Candidates) Len() int { return len(c.Mu) }
+
+// Strategy picks the next batch of candidates to evaluate. The returned
+// slice must contain nBatch distinct valid candidate indices (or fewer
+// only when fewer candidates remain).
+type Strategy interface {
+	// Name identifies the strategy in tables and figures, e.g. "PWU".
+	Name() string
+
+	// Select returns the candidate indices to evaluate next.
+	Select(c *Candidates, nBatch int) []int
+}
+
+// clampBatch bounds nBatch by the candidate count.
+func clampBatch(c *Candidates, nBatch int) int {
+	if nBatch > c.Len() {
+		return c.Len()
+	}
+	return nBatch
+}
+
+// topKByScore returns the indices of the k largest scores (ties broken by
+// lower index, deterministically).
+func topKByScore(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx[:k]
+}
+
+// xKey builds a hashable key for a feature vector, used to recognise
+// pool duplicates during batch selection.
+func xKey(x []float64) string {
+	b := make([]byte, 0, 8*len(x))
+	for _, v := range x {
+		u := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(u>>uint(s)))
+		}
+	}
+	return string(b)
+}
+
+// topKDistinctByScore returns the k highest-scoring candidate indices
+// while avoiding duplicate feature vectors within the batch. On the
+// small application spaces (kripke has 2304 points, hypre 3150) the
+// paper's sampled pool necessarily contains duplicates; with batch sizes
+// above 1 a purely greedy top-k would spend the whole batch on copies of
+// one configuration whose model belief cannot change until the refit.
+// Duplicates are only used to fill the batch when distinct candidates
+// run out. With nBatch = 1 (the paper's setting) this is identical to
+// topKByScore.
+func topKDistinctByScore(scores []float64, X [][]float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	if k <= 1 {
+		return idx[:k]
+	}
+	out := make([]int, 0, k)
+	seen := make(map[string]bool, k)
+	var dups []int
+	for _, i := range idx {
+		if len(out) == k {
+			return out
+		}
+		key := xKey(X[i])
+		if seen[key] {
+			dups = append(dups, i)
+			continue
+		}
+		seen[key] = true
+		out = append(out, i)
+	}
+	for _, i := range dups {
+		if len(out) == k {
+			break
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// bottomKByScore returns the indices of the k smallest scores.
+func bottomKByScore(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	return idx[:k]
+}
+
+// PWU is the paper's Performance Weighted Uncertainty strategy (Eq. 1):
+//
+//	s_i = σ_i / μ_i^(1-α)
+//
+// where μ is predicted execution time (smaller = higher performance) and
+// σ is prediction uncertainty. α ∈ (0, 1] is the fraction of the space
+// regarded as high-performance; as α→1 the score degenerates to pure
+// uncertainty sampling, and as α→0 to the coefficient of variation σ/μ.
+type PWU struct {
+	// Alpha is the high-performance proportion; the paper uses 0.01,
+	// 0.05, 0.10.
+	Alpha float64
+}
+
+// Name implements Strategy.
+func (p PWU) Name() string { return "PWU" }
+
+// Score computes Eq. 1 for a single (μ, σ) pair. μ is clamped to a tiny
+// positive value: execution times are positive, but a degenerate model
+// could predict 0.
+func (p PWU) Score(mu, sigma float64) float64 {
+	if mu < 1e-12 {
+		mu = 1e-12
+	}
+	return sigma / math.Pow(mu, 1-p.Alpha)
+}
+
+// Select implements Strategy: the nBatch candidates with the highest PWU
+// score.
+func (p PWU) Select(c *Candidates, nBatch int) []int {
+	nBatch = clampBatch(c, nBatch)
+	scores := make([]float64, c.Len())
+	for i := range scores {
+		scores[i] = p.Score(c.Mu[i], c.Sigma[i])
+	}
+	return topKDistinctByScore(scores, c.X, nBatch)
+}
+
+// PBUS is the Performance Biased Uncertainty Sampling baseline of
+// Balaprakash et al. 2013: first restrict attention to the top PerfFrac
+// fraction of candidates by predicted performance, then take the most
+// uncertain ones from that subset — performance *before* uncertainty,
+// the two-stage ordering whose limitation the paper demonstrates.
+type PBUS struct {
+	// PerfFrac is the fraction of candidates kept by the performance
+	// filter; <= 0 defaults to 0.10.
+	PerfFrac float64
+}
+
+// Name implements Strategy.
+func (p PBUS) Name() string { return "PBUS" }
+
+// Select implements Strategy.
+func (p PBUS) Select(c *Candidates, nBatch int) []int {
+	nBatch = clampBatch(c, nBatch)
+	frac := p.PerfFrac
+	if frac <= 0 {
+		frac = 0.10
+	}
+	k := int(math.Ceil(float64(c.Len()) * frac))
+	if k < nBatch {
+		k = nBatch
+	}
+	if k > c.Len() {
+		k = c.Len()
+	}
+	// Stage 1: top-k by performance (smallest predicted time).
+	cand := bottomKByScore(c.Mu, k)
+	// Stage 2: most uncertain within the candidate set, de-duplicated
+	// across the batch.
+	scores := make([]float64, c.Len())
+	for i := range scores {
+		scores[i] = math.Inf(-1)
+	}
+	for _, i := range cand {
+		scores[i] = c.Sigma[i]
+	}
+	return topKDistinctByScore(scores, c.X, nBatch)
+}
+
+// BRS is Biased Random Sampling: uniform among the top TopFrac of
+// candidates by predicted performance. It exploits the model's
+// performance belief but ignores uncertainty entirely.
+type BRS struct {
+	// TopFrac is the performance-filter fraction; <= 0 defaults to 0.10.
+	TopFrac float64
+}
+
+// Name implements Strategy.
+func (b BRS) Name() string { return "BRS" }
+
+// Select implements Strategy.
+func (b BRS) Select(c *Candidates, nBatch int) []int {
+	nBatch = clampBatch(c, nBatch)
+	frac := b.TopFrac
+	if frac <= 0 {
+		frac = 0.10
+	}
+	k := int(math.Ceil(float64(c.Len()) * frac))
+	if k < nBatch {
+		k = nBatch
+	}
+	if k > c.Len() {
+		k = c.Len()
+	}
+	cand := bottomKByScore(c.Mu, k)
+	pick := c.Rand.Sample(len(cand), nBatch)
+	out := make([]int, nBatch)
+	for i, j := range pick {
+		out[i] = cand[j]
+	}
+	return out
+}
+
+// BestPerf greedily evaluates the candidates with the best (smallest)
+// predicted execution time — pure exploitation.
+type BestPerf struct{}
+
+// Name implements Strategy.
+func (BestPerf) Name() string { return "BestPerf" }
+
+// Select implements Strategy.
+func (BestPerf) Select(c *Candidates, nBatch int) []int {
+	nBatch = clampBatch(c, nBatch)
+	scores := make([]float64, c.Len())
+	for i := range scores {
+		scores[i] = -c.Mu[i]
+	}
+	return topKDistinctByScore(scores, c.X, nBatch)
+}
+
+// MaxU evaluates the candidates with the largest uncertainty — the
+// classic active-learning uncertainty sampling, pure exploration.
+type MaxU struct{}
+
+// Name implements Strategy.
+func (MaxU) Name() string { return "MaxU" }
+
+// Select implements Strategy.
+func (MaxU) Select(c *Candidates, nBatch int) []int {
+	return topKDistinctByScore(c.Sigma, c.X, clampBatch(c, nBatch))
+}
+
+// Random selects uniformly from the remaining pool — the traditional
+// random-uniform-sampling baseline of conventional empirical modeling.
+type Random struct{}
+
+// Name implements Strategy.
+func (Random) Name() string { return "Random" }
+
+// Select implements Strategy.
+func (Random) Select(c *Candidates, nBatch int) []int {
+	return c.Rand.Sample(c.Len(), clampBatch(c, nBatch))
+}
+
+// EI is the Expected Improvement acquisition of sequential model-based
+// optimisation (Hutter et al.'s SMAC, discussed in the paper's related
+// work): for a minimisation problem with incumbent best observed time
+// y*, EI(x) = (y* − μ)Φ(z) + σφ(z) with z = (y* − μ)/σ. It targets
+// *optimisation* of the objective rather than *modeling* of the
+// high-performance subspace, which is exactly the contrast the paper
+// draws with its PWU strategy; it is included as an extension baseline.
+type EI struct {
+	// Xi is the exploration margin subtracted from the incumbent
+	// (0 = plain EI).
+	Xi float64
+}
+
+// Name implements Strategy.
+func (EI) Name() string { return "EI" }
+
+// Score computes the expected improvement of a candidate.
+func (e EI) Score(mu, sigma, bestY float64) float64 {
+	improve := bestY - e.Xi - mu
+	if sigma < 1e-12 {
+		if improve > 0 {
+			return improve
+		}
+		return 0
+	}
+	z := improve / sigma
+	return improve*normCDF(z) + sigma*normPDF(z)
+}
+
+// Select implements Strategy.
+func (e EI) Select(c *Candidates, nBatch int) []int {
+	nBatch = clampBatch(c, nBatch)
+	scores := make([]float64, c.Len())
+	for i := range scores {
+		scores[i] = e.Score(c.Mu[i], c.Sigma[i], c.BestY)
+	}
+	return topKDistinctByScore(scores, c.X, nBatch)
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// normPDF is the standard normal density.
+func normPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+// CV scores candidates by the coefficient of variation σ/μ — PWU's α→0
+// limit, kept as a named strategy for the score ablation.
+type CV struct{}
+
+// Name implements Strategy.
+func (CV) Name() string { return "CV" }
+
+// Select implements Strategy.
+func (CV) Select(c *Candidates, nBatch int) []int {
+	return PWU{Alpha: 0}.Select(c, nBatch)
+}
+
+// ByName returns the strategy registered under name, configured with the
+// paper's defaults; alpha parameterizes PWU. Recognised names: PWU, PBUS,
+// BRS, BestPerf, MaxU, Random, CV, EI.
+func ByName(name string, alpha float64) (Strategy, error) {
+	switch name {
+	case "PWU":
+		return PWU{Alpha: alpha}, nil
+	case "PBUS":
+		return PBUS{}, nil
+	case "BRS":
+		return BRS{}, nil
+	case "BestPerf":
+		return BestPerf{}, nil
+	case "MaxU":
+		return MaxU{}, nil
+	case "Random":
+		return Random{}, nil
+	case "CV":
+		return CV{}, nil
+	case "EI":
+		return EI{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %q", name)
+	}
+}
+
+// StrategyNames lists the registered strategy names in the order the
+// paper's figures present them.
+func StrategyNames() []string {
+	return []string{"PWU", "PBUS", "BRS", "BestPerf", "MaxU", "Random"}
+}

@@ -1,0 +1,163 @@
+// Package dataset implements the paper's data protocol (§III-D): sample
+// a large surrogate pool of configurations from the parameter space,
+// split it into an unlabeled training pool and a pre-measured test set,
+// and persist either as CSV.
+//
+// Paper defaults: 10 000 configurations sampled uniformly, split into a
+// 7000-point pool (X_pool of Algorithm 1) and a 3000-point test set whose
+// labels are measured in advance and reused at every evaluation
+// checkpoint.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// Dataset is the pool/test split for one benchmark.
+type Dataset struct {
+	// Problem is the benchmark this data was drawn from.
+	Problem bench.Problem
+
+	// Pool is the unlabeled data pool handed to Algorithm 1.
+	Pool []space.Config
+
+	// Test are the held-out configurations, with TestY their labels
+	// (measured in advance under the problem's noise protocol) and
+	// TestTrue the noise-free ground truth for diagnostics.
+	Test     []space.Config
+	TestY    []float64
+	TestTrue []float64
+}
+
+// Build samples poolSize + testSize configurations uniformly (with
+// replacement, matching the paper's protocol on the small application
+// spaces) and measures the test labels in advance. All randomness comes
+// from r.
+func Build(p bench.Problem, poolSize, testSize int, r *rng.RNG) *Dataset {
+	sp := p.Space()
+	all := sp.SampleConfigs(r, poolSize+testSize)
+	ds := &Dataset{
+		Problem: p,
+		Pool:    all[:poolSize],
+		Test:    all[poolSize:],
+	}
+	ev := bench.Evaluator(p, r.Split())
+	ds.TestY = make([]float64, testSize)
+	ds.TestTrue = make([]float64, testSize)
+	for i, c := range ds.Test {
+		ds.TestY[i] = ev.Evaluate(c)
+		ds.TestTrue[i] = p.TrueTime(c)
+	}
+	return ds
+}
+
+// PaperSizes returns the paper's pool and test sizes (7000, 3000).
+func PaperSizes() (poolSize, testSize int) { return 7000, 3000 }
+
+// WriteCSV writes the dataset as CSV: a header of parameter names plus
+// "set" and "y" columns; pool rows have an empty y.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	sp := d.Problem.Space()
+	var header []string
+	for i := 0; i < sp.NumParams(); i++ {
+		header = append(header, sp.Param(i).Name)
+	}
+	header = append(header, "set", "y")
+	if _, err := fmt.Fprintln(bw, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	writeRow := func(c space.Config, set string, y string) error {
+		var cells []string
+		for _, lvl := range c {
+			cells = append(cells, strconv.Itoa(lvl))
+		}
+		cells = append(cells, set, y)
+		_, err := fmt.Fprintln(bw, strings.Join(cells, ","))
+		return err
+	}
+	for _, c := range d.Pool {
+		if err := writeRow(c, "pool", ""); err != nil {
+			return err
+		}
+	}
+	for i, c := range d.Test {
+		if err := writeRow(c, "test", strconv.FormatFloat(d.TestY[i], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads a dataset written by WriteCSV back for problem p. The
+// header must match p's parameter names; TestTrue is recomputed from the
+// model.
+func ReadCSV(p bench.Problem, rd io.Reader) (*Dataset, error) {
+	sp := p.Space()
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dataset: empty CSV")
+	}
+	header := strings.Split(sc.Text(), ",")
+	d := sp.NumParams()
+	if len(header) != d+2 {
+		return nil, fmt.Errorf("dataset: header has %d columns, want %d", len(header), d+2)
+	}
+	for i := 0; i < d; i++ {
+		if header[i] != sp.Param(i).Name {
+			return nil, fmt.Errorf("dataset: column %d is %q, want %q", i, header[i], sp.Param(i).Name)
+		}
+	}
+	ds := &Dataset{Problem: p}
+	line := 1
+	for sc.Scan() {
+		line++
+		cells := strings.Split(sc.Text(), ",")
+		if len(cells) != d+2 {
+			return nil, fmt.Errorf("dataset: line %d has %d columns, want %d", line, len(cells), d+2)
+		}
+		c := make(space.Config, d)
+		for i := 0; i < d; i++ {
+			v, err := strconv.Atoi(cells[i])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %d: %v", line, i, err)
+			}
+			c[i] = v
+		}
+		if err := sp.Validate(c); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+		}
+		switch cells[d] {
+		case "pool":
+			ds.Pool = append(ds.Pool, c)
+		case "test":
+			y, err := strconv.ParseFloat(cells[d+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad y: %v", line, err)
+			}
+			ds.Test = append(ds.Test, c)
+			ds.TestY = append(ds.TestY, y)
+			ds.TestTrue = append(ds.TestTrue, p.TrueTime(c))
+		default:
+			return nil, fmt.Errorf("dataset: line %d: unknown set %q", line, cells[d])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// TestX returns the encoded test design matrix.
+func (d *Dataset) TestX() [][]float64 {
+	return d.Problem.Space().EncodeAll(d.Test)
+}

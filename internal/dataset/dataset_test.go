@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/rng"
+)
+
+func TestBuildSizes(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Build(p, 700, 300, rng.New(1))
+	if len(ds.Pool) != 700 || len(ds.Test) != 300 {
+		t.Fatalf("sizes %d/%d", len(ds.Pool), len(ds.Test))
+	}
+	if len(ds.TestY) != 300 || len(ds.TestTrue) != 300 {
+		t.Fatal("missing test labels")
+	}
+}
+
+func TestPaperSizes(t *testing.T) {
+	pool, test := PaperSizes()
+	if pool != 7000 || test != 3000 {
+		t.Fatalf("paper sizes = %d/%d", pool, test)
+	}
+}
+
+func TestTestLabelsNearTruth(t *testing.T) {
+	p, _ := bench.ByName("mvt")
+	ds := Build(p, 100, 200, rng.New(2))
+	for i := range ds.Test {
+		if ds.TestY[i] <= 0 {
+			t.Fatalf("non-positive label %v", ds.TestY[i])
+		}
+		rel := math.Abs(ds.TestY[i]-ds.TestTrue[i]) / ds.TestTrue[i]
+		if rel > 0.25 {
+			t.Fatalf("label %d off truth by %.0f%%", i, rel*100)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p, _ := bench.ByName("adi")
+	a := Build(p, 50, 50, rng.New(3))
+	b := Build(p, 50, 50, rng.New(3))
+	for i := range a.Pool {
+		if a.Pool[i].Key() != b.Pool[i].Key() {
+			t.Fatal("pool not deterministic")
+		}
+	}
+	for i := range a.TestY {
+		if a.TestY[i] != b.TestY[i] {
+			t.Fatal("test labels not deterministic")
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	p, _ := bench.ByName("kripke")
+	ds := Build(p, 40, 25, rng.New(4))
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := ReadCSV(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds2.Pool) != 40 || len(ds2.Test) != 25 {
+		t.Fatalf("round trip sizes %d/%d", len(ds2.Pool), len(ds2.Test))
+	}
+	for i := range ds.Pool {
+		if ds.Pool[i].Key() != ds2.Pool[i].Key() {
+			t.Fatal("pool config corrupted")
+		}
+	}
+	for i := range ds.Test {
+		if ds.Test[i].Key() != ds2.Test[i].Key() || ds.TestY[i] != ds2.TestY[i] {
+			t.Fatal("test row corrupted")
+		}
+		if ds2.TestTrue[i] != p.TrueTime(ds2.Test[i]) {
+			t.Fatal("TestTrue not recomputed")
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	p, _ := bench.ByName("kripke")
+	cases := []string{
+		"",      // empty
+		"a,b\n", // wrong header width
+		"layout,gset,dset,pmethod,#process,set,y\n1,2\n",                // short row
+		"layout,gset,dset,pmethod,#process,set,y\n9,0,0,0,0,pool,\n",    // out-of-range level
+		"layout,gset,dset,pmethod,#process,set,y\n0,0,0,0,0,weird,\n",   // unknown set
+		"layout,gset,dset,pmethod,#process,set,y\n0,0,0,0,0,test,abc\n", // bad y
+		"layout,gset,dset,pmethod,#process,set,y\nx,0,0,0,0,pool,\n",    // bad int
+		"wrong,gset,dset,pmethod,#process,set,y\n",                      // wrong name
+	}
+	for i, s := range cases {
+		if _, err := ReadCSV(p, strings.NewReader(s)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTestXEncoding(t *testing.T) {
+	p, _ := bench.ByName("hypre")
+	ds := Build(p, 10, 5, rng.New(5))
+	X := ds.TestX()
+	if len(X) != 5 || len(X[0]) != p.Space().NumParams() {
+		t.Fatalf("TestX shape %dx%d", len(X), len(X[0]))
+	}
+}

@@ -1,0 +1,290 @@
+// Package experiment is the figure harness: it runs repetitions of
+// Algorithm 1 for (benchmark, strategy) pairs, evaluates the model at
+// every checkpoint with the paper's metrics (RMSE@α on the held-out test
+// set, cumulative labeling cost CC), and averages the resulting learning
+// curves over repetitions — the exact procedure behind Figs. 2–7.
+//
+// Repetitions run in parallel; each derives an independent seed from the
+// experiment seed, so results are reproducible regardless of GOMAXPROCS.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/forest"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// Scale bundles every size knob of an experiment so the same harness can
+// run at paper scale or at a fast benchmark scale.
+type Scale struct {
+	// PoolSize and TestSize are the dataset split (paper: 7000/3000).
+	PoolSize, TestSize int
+
+	// NInit, NBatch, NMax parameterise Algorithm 1 (paper: 10/1/500).
+	NInit, NBatch, NMax int
+
+	// Reps is the number of repeated experiments averaged (paper: 10).
+	Reps int
+
+	// Alpha is the high-performance proportion for both the PWU score
+	// and the RMSE@α metric (paper default: 0.05; also 0.01 and 0.10).
+	Alpha float64
+
+	// EvalEvery evaluates metrics at every EvalEvery-th labeled sample
+	// (1 = every iteration, as in the paper; larger values thin the
+	// checkpoints to speed up benchmark-scale runs).
+	EvalEvery int
+
+	// Forest configures the surrogate model.
+	Forest forest.Config
+
+	// Workers bounds repetition-level parallelism; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// Paper returns the paper-scale settings of §III-D with α = 0.05.
+func Paper() Scale {
+	return Scale{
+		PoolSize: 7000, TestSize: 3000,
+		NInit: 10, NBatch: 1, NMax: 500,
+		Reps: 10, Alpha: 0.05, EvalEvery: 1,
+		Forest: forest.Config{NumTrees: 64},
+	}
+}
+
+// Quick returns a reduced scale that preserves the experiment's shape
+// but completes in seconds per (benchmark, strategy): smaller pool,
+// fewer labels, fewer repetitions, thinner checkpoints.
+func Quick() Scale {
+	return Scale{
+		PoolSize: 1200, TestSize: 500,
+		NInit: 10, NBatch: 5, NMax: 160,
+		Reps: 3, Alpha: 0.05, EvalEvery: 10,
+		Forest: forest.Config{NumTrees: 32},
+	}
+}
+
+// QuickApp returns the reduced scale used for the kripke/hypre
+// application figures. The applications need the paper's batch size of 1
+// to show their characteristic shapes (hypre's biased samplers overtake
+// random only after a few hundred single-sample iterations), and their
+// small parameter spaces make the extra refits cheap.
+func QuickApp() Scale {
+	return Scale{
+		PoolSize: 2000, TestSize: 800,
+		NInit: 10, NBatch: 1, NMax: 300,
+		Reps: 3, Alpha: 0.05, EvalEvery: 10,
+		Forest: forest.Config{NumTrees: 48},
+	}
+}
+
+// Smoke returns the smallest useful scale, for unit tests.
+func Smoke() Scale {
+	return Scale{
+		PoolSize: 300, TestSize: 150,
+		NInit: 8, NBatch: 10, NMax: 60,
+		Reps: 2, Alpha: 0.1, EvalEvery: 10,
+		Forest: forest.Config{NumTrees: 16},
+	}
+}
+
+func (s Scale) workers() int {
+	if s.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.Workers
+}
+
+// CurveSet is the averaged learning curves of one strategy on one
+// benchmark: RMSE@α and CC as functions of the number of labeled
+// samples.
+type CurveSet struct {
+	Benchmark string
+	Strategy  string
+	Alpha     float64
+
+	// Samples are the checkpoint training-set sizes.
+	Samples []int
+
+	// RMSE[i] is the mean over repetitions of RMSE@α at Samples[i];
+	// RMSEStd is the between-repetition standard deviation.
+	RMSE    []float64
+	RMSEStd []float64
+
+	// CC[i] is the mean cumulative labeling cost at Samples[i].
+	CC []float64
+}
+
+// RMSECurve returns the RMSE learning curve as a metrics.Curve.
+func (c *CurveSet) RMSECurve() metrics.Curve {
+	return metrics.Curve{Samples: c.Samples, Values: c.RMSE}
+}
+
+// CCCurve returns the cost curve as a metrics.Curve.
+func (c *CurveSet) CCCurve() metrics.Curve {
+	return metrics.Curve{Samples: c.Samples, Values: c.CC}
+}
+
+// strategyFor instantiates the named strategy with the scale's α.
+func strategyFor(name string, alpha float64) (core.Strategy, error) {
+	return core.ByName(name, alpha)
+}
+
+// RunStrategy runs sc.Reps repetitions of Algorithm 1 with the named
+// strategy on problem p and returns the averaged curves. Repetition r
+// uses an independent dataset and seed derived from seed, matching the
+// paper's "10 random experiments" protocol.
+func RunStrategy(p bench.Problem, strategyName string, sc Scale, seed uint64) (*CurveSet, error) {
+	checkpoints := checkpointSizes(sc)
+	repRMSE := make([][]float64, sc.Reps)
+	repCC := make([][]float64, sc.Reps)
+	errs := make([]error, sc.Reps)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, sc.workers())
+	for rep := 0; rep < sc.Reps; rep++ {
+		wg.Add(1)
+		go func(rep int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			repRMSE[rep], repCC[rep], errs[rep] = runOnce(p, strategyName, sc, rng.Mix(seed, uint64(rep)))
+		}(rep)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cs := &CurveSet{
+		Benchmark: p.Name(), Strategy: strategyName, Alpha: sc.Alpha,
+		Samples: checkpoints,
+		RMSE:    make([]float64, len(checkpoints)),
+		RMSEStd: make([]float64, len(checkpoints)),
+		CC:      make([]float64, len(checkpoints)),
+	}
+	for i := range checkpoints {
+		var rmse, cc []float64
+		for rep := 0; rep < sc.Reps; rep++ {
+			rmse = append(rmse, repRMSE[rep][i])
+			cc = append(cc, repCC[rep][i])
+		}
+		cs.RMSE[i] = mean(rmse)
+		cs.RMSEStd[i] = stddev(rmse)
+		cs.CC[i] = mean(cc)
+	}
+	return cs, nil
+}
+
+// runOnce executes one repetition and returns the per-checkpoint RMSE@α
+// and CC.
+func runOnce(p bench.Problem, strategyName string, sc Scale, seed uint64) (rmse, cc []float64, err error) {
+	r := rng.New(seed)
+	ds := dataset.Build(p, sc.PoolSize, sc.TestSize, r.Split())
+	strat, err := strategyFor(strategyName, sc.Alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+	testX := ds.TestX()
+
+	checkpoints := checkpointSizes(sc)
+	want := map[int]bool{}
+	for _, s := range checkpoints {
+		want[s] = true
+	}
+
+	obs := func(st *core.State) error {
+		n := len(st.TrainY)
+		if !want[n] {
+			return nil
+		}
+		pred, _ := st.Model.PredictBatch(testX)
+		rmse = append(rmse, metrics.RMSEAtAlpha(ds.TestY, pred, sc.Alpha))
+		cc = append(cc, metrics.CumulativeCost(st.TrainY))
+		return nil
+	}
+
+	ev := bench.Evaluator(p, r.Split())
+	params := core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax, Forest: sc.Forest}
+	if _, err := core.Run(p.Space(), ds.Pool, ev, strat, params, r, obs); err != nil {
+		return nil, nil, err
+	}
+	if len(rmse) != len(checkpoints) {
+		return nil, nil, fmt.Errorf("experiment: recorded %d checkpoints, want %d", len(rmse), len(checkpoints))
+	}
+	return rmse, cc, nil
+}
+
+// checkpointSizes lists the training-set sizes at which metrics are
+// evaluated: the cold-start size, then every EvalEvery-th size reachable
+// by the batch schedule, always including NMax.
+func checkpointSizes(sc Scale) []int {
+	every := sc.EvalEvery
+	if every < 1 {
+		every = 1
+	}
+	var out []int
+	n := sc.NInit
+	out = append(out, n)
+	last := n
+	for n < sc.NMax {
+		n += sc.NBatch
+		if n > sc.NMax {
+			n = sc.NMax
+		}
+		if n-last >= every || n == sc.NMax {
+			out = append(out, n)
+			last = n
+		}
+	}
+	return out
+}
+
+// RunAll runs every strategy in names on p and returns the curve sets in
+// order. Each strategy sees the same experiment seed so repetition r of
+// every strategy works on an identically-distributed (not identical)
+// dataset draw.
+func RunAll(p bench.Problem, names []string, sc Scale, seed uint64) ([]*CurveSet, error) {
+	out := make([]*CurveSet, 0, len(names))
+	for _, name := range names {
+		cs, err := RunStrategy(p, name, sc, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s/%s: %w", p.Name(), name, err)
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// stddev is the population standard deviation, adequate for error bars
+// over repetitions.
+func stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := mean(xs)
+	var acc float64
+	for _, x := range xs {
+		acc += (x - m) * (x - m)
+	}
+	return math.Sqrt(acc / float64(len(xs)))
+}

@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestCheckpointSizes(t *testing.T) {
+	sc := Scale{NInit: 10, NBatch: 1, NMax: 20, EvalEvery: 1}
+	got := checkpointSizes(sc)
+	want := []int{10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}
+	if len(got) != len(want) {
+		t.Fatalf("checkpoints = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("checkpoints = %v", got)
+		}
+	}
+}
+
+func TestCheckpointSizesThinned(t *testing.T) {
+	sc := Scale{NInit: 10, NBatch: 5, NMax: 50, EvalEvery: 10}
+	got := checkpointSizes(sc)
+	want := []int{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("checkpoints = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("checkpoints = %v", got)
+		}
+	}
+}
+
+func TestCheckpointAlwaysIncludesNMax(t *testing.T) {
+	sc := Scale{NInit: 10, NBatch: 7, NMax: 33, EvalEvery: 100}
+	got := checkpointSizes(sc)
+	if got[len(got)-1] != 33 {
+		t.Fatalf("last checkpoint = %d, want NMax", got[len(got)-1])
+	}
+}
+
+func TestRunStrategySmoke(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Smoke()
+	cs, err := RunStrategy(p, "PWU", sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Benchmark != "atax" || cs.Strategy != "PWU" || cs.Alpha != sc.Alpha {
+		t.Fatalf("metadata = %+v", cs)
+	}
+	if len(cs.Samples) != len(cs.RMSE) || len(cs.Samples) != len(cs.CC) || len(cs.Samples) != len(cs.RMSEStd) {
+		t.Fatal("curve lengths inconsistent")
+	}
+	if cs.Samples[0] != sc.NInit || cs.Samples[len(cs.Samples)-1] != sc.NMax {
+		t.Fatalf("sample range %v", cs.Samples)
+	}
+	for i, v := range cs.RMSE {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("RMSE[%d] = %v", i, v)
+		}
+	}
+	// CC must be strictly increasing: every label adds positive time.
+	for i := 1; i < len(cs.CC); i++ {
+		if cs.CC[i] <= cs.CC[i-1] {
+			t.Fatalf("CC not increasing at %d: %v", i, cs.CC)
+		}
+	}
+}
+
+func TestRunStrategyDeterministic(t *testing.T) {
+	p, _ := bench.ByName("mvt")
+	sc := Smoke()
+	a, err := RunStrategy(p, "MaxU", sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStrategy(p, "MaxU", sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.RMSE {
+		if a.RMSE[i] != b.RMSE[i] || a.CC[i] != b.CC[i] {
+			t.Fatalf("experiment not deterministic at checkpoint %d", i)
+		}
+	}
+}
+
+func TestRunStrategySeedsMatter(t *testing.T) {
+	p, _ := bench.ByName("mvt")
+	sc := Smoke()
+	a, _ := RunStrategy(p, "Random", sc, 1)
+	b, _ := RunStrategy(p, "Random", sc, 2)
+	same := true
+	for i := range a.RMSE {
+		if a.RMSE[i] != b.RMSE[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical curves")
+	}
+}
+
+func TestRunAllOrder(t *testing.T) {
+	p, _ := bench.ByName("gesummv")
+	names := []string{"PWU", "Random"}
+	out, err := RunAll(p, names, Smoke(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Strategy != "PWU" || out[1].Strategy != "Random" {
+		t.Fatalf("RunAll order wrong: %v, %v", out[0].Strategy, out[1].Strategy)
+	}
+}
+
+func TestRunAllUnknownStrategy(t *testing.T) {
+	p, _ := bench.ByName("gesummv")
+	if _, err := RunAll(p, []string{"Nope"}, Smoke(), 3); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestLearningCurveImproves(t *testing.T) {
+	// With enough labels, the final RMSE should beat the cold-start RMSE
+	// for a sane strategy on an easy kernel.
+	p, _ := bench.ByName("atax")
+	sc := Smoke()
+	sc.NMax = 120
+	sc.PoolSize = 500
+	cs, err := RunStrategy(p, "Random", sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := cs.RMSE[0], cs.RMSE[len(cs.RMSE)-1]
+	if last >= first {
+		t.Fatalf("no learning: RMSE %v -> %v", first, last)
+	}
+}
+
+func TestSelectionScatter(t *testing.T) {
+	p, _ := bench.ByName("atax")
+	sc := Smoke()
+	s, err := SelectionScatter(p, "PWU", sc, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.PoolMu) != sc.PoolSize || len(s.PoolSigma) != sc.PoolSize {
+		t.Fatalf("pool scatter %d points", len(s.PoolMu))
+	}
+	if len(s.SelMu) != sc.NMax-sc.NInit {
+		t.Fatalf("selection scatter %d points, want %d", len(s.SelMu), sc.NMax-sc.NInit)
+	}
+	for i := range s.SelMu {
+		if s.SelSigma[i] < 0 || math.IsNaN(s.SelMu[i]) {
+			t.Fatalf("bad selection point %d", i)
+		}
+	}
+}
+
+func TestPWUSpeedups(t *testing.T) {
+	p, _ := bench.ByName("atax")
+	rows, err := PWUSpeedups([]bench.Problem{p}, Smoke(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Benchmark != "atax" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].OK && (rows[0].Speedup <= 0 || math.IsInf(rows[0].Speedup, 0)) {
+		t.Fatalf("speedup = %v", rows[0].Speedup)
+	}
+}
+
+func TestScalePresetsSane(t *testing.T) {
+	for _, sc := range []Scale{Paper(), Quick(), Smoke()} {
+		if sc.PoolSize <= sc.NMax {
+			t.Fatalf("pool %d not larger than NMax %d", sc.PoolSize, sc.NMax)
+		}
+		if sc.NInit >= sc.NMax || sc.Reps < 1 || sc.Alpha <= 0 || sc.Alpha > 1 {
+			t.Fatalf("bad scale %+v", sc)
+		}
+	}
+	p := Paper()
+	if p.PoolSize != 7000 || p.TestSize != 3000 || p.NInit != 10 || p.NBatch != 1 || p.NMax != 500 || p.Reps != 10 {
+		t.Fatalf("Paper() deviates from §III-D: %+v", p)
+	}
+}

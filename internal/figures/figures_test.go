@@ -1,0 +1,181 @@
+package figures
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/experiment"
+)
+
+// testGenerator builds a Generator at smoke scale with a reduced
+// benchmark set so the full artifact suite runs in test time.
+func testGenerator(t *testing.T) (*Generator, *bytes.Buffer) {
+	t.Helper()
+	dir := t.TempDir()
+	var out bytes.Buffer
+	atax, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Generator{
+		Scale:   experiment.Smoke(),
+		Seed:    1,
+		OutDir:  dir,
+		Stdout:  &out,
+		Kernels: []bench.Problem{atax},
+		Apps:    bench.Applications(),
+	}, &out
+}
+
+func mustRead(t *testing.T, g *Generator, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(g.OutDir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestTables(t *testing.T) {
+	g, _ := testGenerator(t)
+	if err := g.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	t1 := mustRead(t, g, "table1_adi.txt")
+	for _, want := range []string{"tile", "unrolljam", "regtile", "scalarreplace", "vector", "512", "31"} {
+		if !strings.Contains(t1, want) {
+			t.Fatalf("table1 missing %q:\n%s", want, t1)
+		}
+	}
+	if err := g.Table2(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := mustRead(t, g, "table2_kripke.txt")
+	for _, want := range []string{"layout", "DGZ", "gset", "dset", "pmethod", "sweep", "bj", "#process"} {
+		if !strings.Contains(t2, want) {
+			t.Fatalf("table2 missing %q", want)
+		}
+	}
+	if err := g.Table3(); err != nil {
+		t.Fatal(err)
+	}
+	t3 := mustRead(t, g, "table3_hypre.txt")
+	for _, want := range []string{"solver", "coarsening", "pmis", "hmis", "smtype", "#process"} {
+		if !strings.Contains(t3, want) {
+			t.Fatalf("table3 missing %q", want)
+		}
+	}
+	if err := g.Table4(); err != nil {
+		t.Fatal(err)
+	}
+	t4 := mustRead(t, g, "table4_platforms.txt")
+	for _, want := range []string{"E5-2680 v3", "E5-2680 v4", "2.5GHz", "2.4GHz", "24", "28", "64GB", "128GB", "100Gbps OPA"} {
+		if !strings.Contains(t4, want) {
+			t.Fatalf("table4 missing %q:\n%s", want, t4)
+		}
+	}
+}
+
+func TestFig2And3ShareRuns(t *testing.T) {
+	g, out := testGenerator(t)
+	if err := g.Fig2(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Fig3(); err != nil {
+		t.Fatal(err)
+	}
+	// The cache means "running atax" appears exactly once.
+	if n := strings.Count(out.String(), "running atax"); n != 1 {
+		t.Fatalf("atax ran %d times, want 1 (cache broken)", n)
+	}
+	f2 := mustRead(t, g, "fig2_atax.txt")
+	for _, s := range strategies {
+		if !strings.Contains(f2, s) {
+			t.Fatalf("fig2 missing strategy %s", s)
+		}
+	}
+	csv := mustRead(t, g, "fig2_atax.csv")
+	if !strings.HasPrefix(csv, "series,x,y\n") {
+		t.Fatal("fig2 csv malformed")
+	}
+	if _, err := os.Stat(filepath.Join(g.OutDir, "fig3_atax.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4And5(t *testing.T) {
+	g, _ := testGenerator(t)
+	// Shrink to one app for speed.
+	g.Apps = g.Apps[:1]
+	if err := g.Fig4(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Fig5(); err != nil {
+		t.Fatal(err)
+	}
+	f4 := mustRead(t, g, "fig4_kripke.txt")
+	if !strings.Contains(f4, "Fig 4a") || !strings.Contains(f4, "Fig 4b") {
+		t.Fatal("fig4 panels missing")
+	}
+	f5 := mustRead(t, g, "fig5_kripke.txt")
+	if !strings.Contains(f5, "cumulative cost") {
+		t.Fatal("fig5 title missing")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	g, _ := testGenerator(t)
+	if err := g.Fig6(); err != nil {
+		t.Fatal(err)
+	}
+	f6 := mustRead(t, g, "fig6_atax_alpha.txt")
+	for _, want := range []string{"PWU@0.01", "PBUS@0.01", "PWU@0.05", "PWU@0.10"} {
+		if !strings.Contains(f6, want) {
+			t.Fatalf("fig6 missing %q", want)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	g, _ := testGenerator(t)
+	g.Apps = nil // kernels only, for speed
+	if err := g.Fig7(); err != nil {
+		t.Fatal(err)
+	}
+	f7 := mustRead(t, g, "fig7_speedup.csv")
+	if !strings.Contains(f7, "atax") {
+		t.Fatalf("fig7 csv missing atax: %s", f7)
+	}
+}
+
+func TestFig8(t *testing.T) {
+	g, _ := testGenerator(t)
+	if err := g.Fig8(); err != nil {
+		t.Fatal(err)
+	}
+	f8 := mustRead(t, g, "fig8_tuning.txt")
+	if !strings.Contains(f8, "ground truth") || !strings.Contains(f8, "surrogate model") {
+		t.Fatal("fig8 legend missing annotators")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	g, _ := testGenerator(t)
+	if err := g.Fig9(); err != nil {
+		t.Fatal(err)
+	}
+	f9 := mustRead(t, g, "fig9_scatter.txt")
+	if !strings.Contains(f9, "PBUS") || !strings.Contains(f9, "PWU") {
+		t.Fatal("fig9 missing panels")
+	}
+	csv := mustRead(t, g, "fig9_scatter.csv")
+	for _, want := range []string{"PBUS_pool", "PBUS_selected", "PWU_pool", "PWU_selected"} {
+		if !strings.Contains(csv, want) {
+			t.Fatalf("fig9 csv missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package forest implements random-forest regression with the
+// per-prediction uncertainty estimates that active learning needs.
+//
+// A forest is a bag of CART trees (internal/tree), each fitted to a
+// bootstrap resample of the training set with random-subspace feature
+// sampling. The point prediction of the forest is the mean of the tree
+// predictions. The uncertainty σ comes in two flavours, selectable via
+// Config.Uncertainty:
+//
+//   - BetweenTrees: the standard deviation of the individual tree
+//     predictions, the spread the paper's §II-B refers to.
+//   - TotalVariance: the law-of-total-variance estimator of Hutter et
+//     al. 2014 (Algorithm runtime prediction, AIJ), which adds the mean
+//     within-leaf variance to the between-tree spread. It is the more
+//     faithful predictive variance when leaves are not pure.
+//
+// Training and batch prediction are parallelised across trees with a
+// bounded worker pool (one goroutine per GOMAXPROCS).
+package forest
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+	"repro/internal/tree"
+)
+
+// UncertaintyKind selects how Forest computes σ.
+type UncertaintyKind int
+
+// The two uncertainty estimators; see the package comment.
+const (
+	BetweenTrees UncertaintyKind = iota
+	TotalVariance
+)
+
+// Config controls forest construction. NumTrees <= 0 defaults to 64
+// trees; Tree.MaxFeatures <= 0 considers all features at every split
+// (scikit-learn's regression default, and clearly stronger than d/3 on
+// these response surfaces — tree diversity then comes from bagging
+// alone).
+type Config struct {
+	// NumTrees is the ensemble size B.
+	NumTrees int
+
+	// Tree configures the individual CART learners. Tree.MaxFeatures <= 0
+	// is replaced by max(1, d/3).
+	Tree tree.Config
+
+	// Uncertainty selects the σ estimator (default BetweenTrees).
+	Uncertainty UncertaintyKind
+
+	// Workers bounds fitting/prediction parallelism; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+
+	// DisableBagging fits every tree on the full training set (random
+	// subspace only). Used by ablation benchmarks.
+	DisableBagging bool
+}
+
+func (c Config) numTrees() int {
+	if c.NumTrees <= 0 {
+		return 64
+	}
+	return c.NumTrees
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// Forest is a fitted random-forest regressor.
+type Forest struct {
+	trees    []*tree.Regressor
+	features []space.Feature
+	cfg      Config
+	oob      float64 // out-of-bag RMSE; NaN if unavailable
+
+	// nextRefresh is the ensemble rotation position of partial updates
+	// (see Update); it ensures successive updates cycle all trees.
+	nextRefresh int
+}
+
+// Fit trains a forest on (X, y) with the column description features.
+// r seeds the per-tree bootstrap and subspace randomness; each tree gets
+// an independent child stream so results do not depend on scheduling.
+func Fit(X [][]float64, y []float64, features []space.Feature, cfg Config, r *rng.RNG) (*Forest, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("forest: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("forest: len(X)=%d but len(y)=%d", len(X), len(y))
+	}
+	if r == nil {
+		return nil, fmt.Errorf("forest: nil generator")
+	}
+	d := len(features)
+	if d == 0 {
+		return nil, fmt.Errorf("forest: no features")
+	}
+
+	treeCfg := cfg.Tree
+
+	b := cfg.numTrees()
+	trees := make([]*tree.Regressor, b)
+	inBag := make([][]bool, b) // inBag[t][i]: sample i used by tree t
+	errs := make([]error, b)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.workers())
+	for t := 0; t < b; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			tr := r.Child(uint64(t))
+			n := len(X)
+			var bx [][]float64
+			var by []float64
+			bag := make([]bool, n)
+			if cfg.DisableBagging {
+				bx, by = X, y
+				for i := range bag {
+					bag[i] = true
+				}
+			} else {
+				bx = make([][]float64, n)
+				by = make([]float64, n)
+				for i := 0; i < n; i++ {
+					j := tr.Intn(n)
+					bx[i], by[i] = X[j], y[j]
+					bag[j] = true
+				}
+			}
+			inBag[t] = bag
+			trees[t], errs[t] = tree.Fit(bx, by, features, treeCfg, tr)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	f := &Forest{trees: trees, features: features, cfg: cfg, oob: math.NaN()}
+	if !cfg.DisableBagging {
+		f.oob = oobRMSE(X, y, trees, inBag)
+	}
+	return f, nil
+}
+
+// oobRMSE computes the out-of-bag RMSE: each sample is predicted only by
+// the trees whose bootstrap excluded it.
+func oobRMSE(X [][]float64, y []float64, trees []*tree.Regressor, inBag [][]bool) float64 {
+	var sse float64
+	covered := 0
+	for i := range X {
+		var sum float64
+		votes := 0
+		for t, tr := range trees {
+			if inBag[t][i] {
+				continue
+			}
+			sum += tr.Predict(X[i])
+			votes++
+		}
+		if votes == 0 {
+			continue
+		}
+		d := sum/float64(votes) - y[i]
+		sse += d * d
+		covered++
+	}
+	if covered == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(sse / float64(covered))
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// OOBRMSE returns the out-of-bag RMSE recorded at fit time, or NaN when
+// bagging was disabled or no sample was ever out of bag.
+func (f *Forest) OOBRMSE() float64 { return f.oob }
+
+// Predict returns the forest's point prediction for x.
+func (f *Forest) Predict(x []float64) float64 {
+	m, _ := f.PredictWithUncertainty(x)
+	return m
+}
+
+// PredictWithUncertainty returns the prediction mean μ and uncertainty σ
+// for x, with σ computed per the configured estimator.
+func (f *Forest) PredictWithUncertainty(x []float64) (mu, sigma float64) {
+	b := float64(len(f.trees))
+	var sum, sumSq, leafVar float64
+	for _, tr := range f.trees {
+		m, v, _ := tr.PredictWithStats(x)
+		sum += m
+		sumSq += m * m
+		leafVar += v
+	}
+	mu = sum / b
+	betweenVar := sumSq/b - mu*mu
+	if betweenVar < 0 {
+		betweenVar = 0
+	}
+	variance := betweenVar
+	if f.cfg.Uncertainty == TotalVariance {
+		variance += leafVar / b
+	}
+	return mu, math.Sqrt(variance)
+}
+
+// PredictBatch predicts all rows of X in parallel, returning μ and σ
+// vectors. It is the hot path of Algorithm 1's scoring step.
+func (f *Forest) PredictBatch(X [][]float64) (mu, sigma []float64) {
+	n := len(X)
+	mu = make([]float64, n)
+	sigma = make([]float64, n)
+	workers := f.cfg.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, x := range X {
+			mu[i], sigma[i] = f.PredictWithUncertainty(x)
+		}
+		return mu, sigma
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				mu[i], sigma[i] = f.PredictWithUncertainty(X[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return mu, sigma
+}
+
+// FeatureUsage returns the fraction of internal-node splits that use each
+// feature, a cheap importance proxy summed over all trees.
+func (f *Forest) FeatureUsage() []float64 {
+	totals := make([]float64, len(f.features))
+	var all float64
+	for _, tr := range f.trees {
+		for i, c := range tr.SplitCounts() {
+			totals[i] += float64(c)
+			all += float64(c)
+		}
+	}
+	if all > 0 {
+		for i := range totals {
+			totals[i] /= all
+		}
+	}
+	return totals
+}
+
+// PermutationImportance returns the increase in RMSE on (X, y) when each
+// feature column is permuted, averaged over rounds; larger is more
+// important. r drives the permutations.
+func (f *Forest) PermutationImportance(X [][]float64, y []float64, rounds int, r *rng.RNG) []float64 {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	base := f.rmseOn(X, y)
+	d := len(f.features)
+	imp := make([]float64, d)
+	col := make([]float64, len(X))
+	scratch := make([][]float64, len(X))
+	for i := range scratch {
+		scratch[i] = make([]float64, d)
+		copy(scratch[i], X[i])
+	}
+	for j := 0; j < d; j++ {
+		var acc float64
+		for round := 0; round < rounds; round++ {
+			for i := range X {
+				col[i] = X[i][j]
+			}
+			r.Shuffle(len(col), func(a, b int) { col[a], col[b] = col[b], col[a] })
+			for i := range scratch {
+				scratch[i][j] = col[i]
+			}
+			acc += f.rmseOn(scratch, y) - base
+		}
+		for i := range scratch {
+			scratch[i][j] = X[i][j]
+		}
+		imp[j] = acc / float64(rounds)
+	}
+	return imp
+}
+
+func (f *Forest) rmseOn(X [][]float64, y []float64) float64 {
+	mu, _ := f.PredictBatch(X)
+	var sse float64
+	for i := range y {
+		d := mu[i] - y[i]
+		sse += d * d
+	}
+	return math.Sqrt(sse / float64(len(y)))
+}
+
+// TreeDepthStats returns the min, mean and max depth across trees,
+// useful for diagnostics and tests.
+func (f *Forest) TreeDepthStats() (min int, mean float64, max int) {
+	min, max = math.MaxInt, 0
+	var sum int
+	for _, tr := range f.trees {
+		d := tr.Depth()
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	mean = float64(sum) / float64(len(f.trees))
+	return min, mean, max
+}

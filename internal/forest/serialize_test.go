@@ -1,0 +1,134 @@
+package forest
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+func TestForestJSONRoundTrip(t *testing.T) {
+	X, y := friedman(rng.New(1), 200)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 16}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.NumTrees() != 16 {
+		t.Fatalf("reloaded %d trees", f2.NumTrees())
+	}
+	// Identical predictions and uncertainties on every training point.
+	for i := range X {
+		m1, s1 := f.PredictWithUncertainty(X[i])
+		m2, s2 := f2.PredictWithUncertainty(X[i])
+		if m1 != m2 || s1 != s2 {
+			t.Fatalf("round trip changed prediction at %d: (%v,%v) vs (%v,%v)", i, m1, s1, m2, s2)
+		}
+	}
+	if f.OOBRMSE() != f2.OOBRMSE() {
+		t.Fatalf("OOB lost: %v vs %v", f.OOBRMSE(), f2.OOBRMSE())
+	}
+}
+
+func TestForestJSONCategorical(t *testing.T) {
+	fs := []space.Feature{
+		{Name: "x", Kind: space.FeatNumeric},
+		{Name: "c", Kind: space.FeatCategorical, NumCategories: 5},
+	}
+	r := rng.New(3)
+	n := 300
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		c := r.Intn(5)
+		X[i] = []float64{r.Float64(), float64(c)}
+		y[i] = float64(c%2)*10 + X[i][0]
+	}
+	f, err := Fit(X, y, fs, Config{NumTrees: 8}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f2 Forest
+	if err := json.Unmarshal(data, &f2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		probe := []float64{r.Float64(), float64(r.Intn(5))}
+		if f.Predict(probe) != f2.Predict(probe) {
+			t.Fatal("categorical round trip changed predictions")
+		}
+	}
+}
+
+func TestForestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`{"trees":[]}`,
+		`{"features":[{"Name":"x","Kind":0}],"trees":[]}`,
+		`{"features":[{"Name":"x","Kind":0}],"trees":["not a tree"]}`,
+		`{"features":[{"Name":"x","Kind":0}],"trees":[{"config":{},"root":null}]}`,
+	}
+	for i, s := range cases {
+		if _, err := Load(strings.NewReader(s)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestForestNaNOOBOmitted(t *testing.T) {
+	X, y := friedman(rng.New(5), 50)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 4, DisableBagging: true}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(f.OOBRMSE()) {
+		t.Fatal("expected NaN OOB with bagging disabled")
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err) // NaN must not reach the JSON encoder
+	}
+	var f2 Forest
+	if err := json.Unmarshal(data, &f2); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(f2.OOBRMSE()) {
+		t.Fatal("NaN OOB not restored")
+	}
+}
+
+func TestReloadedForestUpdatable(t *testing.T) {
+	// A reloaded forest must still support warm partial updates.
+	X, y := friedman(rng.New(7), 100)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 8}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Update(X, y, rng.New(9)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tree"
+)
+
+// Update performs the "updated partially" refit of the paper's Fig. 1:
+// instead of retraining all B trees on the grown training set, it
+// replaces a rotating subset of the ensemble with trees freshly fitted
+// to bootstrap resamples of the full current data. Over successive
+// updates the whole ensemble turns over, so the forest tracks the data
+// while each call costs only refreshFraction of a full fit.
+//
+// X and y must be the complete current training set (the old samples
+// plus the newly labeled ones). Update implements core.Updatable.
+func (f *Forest) Update(X [][]float64, y []float64, r *rng.RNG) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("forest: Update with %d/%d samples", len(X), len(y))
+	}
+	if r == nil {
+		return fmt.Errorf("forest: Update with nil generator")
+	}
+
+	treeCfg := f.cfg.Tree
+
+	// Refresh a quarter of the ensemble (at least one tree), cycling
+	// through positions so no tree survives forever.
+	k := len(f.trees) / 4
+	if k < 1 {
+		k = 1
+	}
+	n := len(X)
+	for i := 0; i < k; i++ {
+		slot := f.nextRefresh % len(f.trees)
+		f.nextRefresh++
+		tr := r.Child(uint64(slot))
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for j := 0; j < n; j++ {
+			pick := tr.Intn(n)
+			bx[j], by[j] = X[pick], y[pick]
+		}
+		nt, err := tree.Fit(bx, by, f.features, treeCfg, tr)
+		if err != nil {
+			return fmt.Errorf("forest: Update refit slot %d: %w", slot, err)
+		}
+		f.trees[slot] = nt
+	}
+	// OOB bookkeeping is not maintained across partial updates.
+	f.oob = math.NaN()
+	return nil
+}

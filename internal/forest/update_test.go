@@ -1,0 +1,158 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestUpdateValidation(t *testing.T) {
+	X, y := friedman(rng.New(1), 50)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 8}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Update(nil, nil, rng.New(3)); err == nil {
+		t.Fatal("empty update accepted")
+	}
+	if err := f.Update(X, y[:10], rng.New(3)); err == nil {
+		t.Fatal("mismatched update accepted")
+	}
+	if err := f.Update(X, y, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestUpdateTracksNewData(t *testing.T) {
+	// Start with data from one regime; updates feed a shifted regime.
+	r := rng.New(4)
+	mk := func(n int, offset float64) ([][]float64, []float64) {
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range X {
+			X[i] = []float64{r.Float64()}
+			y[i] = X[i][0]*2 + offset
+		}
+		return X, y
+	}
+	// meanPred averages predictions over a probe grid; a single probe
+	// would only test one local neighbourhood.
+	meanPred := func(f *Forest) float64 {
+		var sum float64
+		const probes = 50
+		for i := 0; i < probes; i++ {
+			sum += f.Predict([]float64{float64(i) / probes})
+		}
+		return sum / probes
+	}
+	X, y := mk(100, 0)
+	f, err := Fit(X, y, numFeatures(1), Config{NumTrees: 16}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := meanPred(f)
+	// Append shifted data and update enough times to cycle the ensemble.
+	X2, y2 := mk(400, 10)
+	allX := append(X, X2...)
+	allY := append(y, y2...)
+	for i := 0; i < 8; i++ {
+		if err := f.Update(allX, allY, rng.New(uint64(6+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := meanPred(f)
+	// The mixture is 80% shifted data: the mean prediction should move
+	// most of the +10 offset.
+	if after-before < 5 {
+		t.Fatalf("update did not absorb new data: %v -> %v", before, after)
+	}
+	if !math.IsNaN(f.OOBRMSE()) {
+		t.Fatal("OOB should be invalidated after partial update")
+	}
+}
+
+func TestUpdateCheaperThanRefit(t *testing.T) {
+	// A single update replaces about a quarter of the trees; verify by
+	// counting trees that change their prediction on a probe point.
+	X, y := friedman(rng.New(7), 300)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 32}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := X[42]
+	var before []float64
+	for _, tr := range f.trees {
+		before = append(before, tr.Predict(probe))
+	}
+	if err := f.Update(X, y, rng.New(9)); err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i, tr := range f.trees {
+		if tr.Predict(probe) != before[i] {
+			changed++
+		}
+	}
+	if changed == 0 || changed > 12 {
+		t.Fatalf("%d/32 trees changed; want about 8 (a quarter)", changed)
+	}
+}
+
+func TestUpdateRotationCyclesEnsemble(t *testing.T) {
+	X, y := friedman(rng.New(10), 100)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 8}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]treePtr(nil), treePtrs(f)...)
+	// 4 updates x 2 trees = all 8 slots refreshed once.
+	for i := 0; i < 4; i++ {
+		if err := f.Update(X, y, rng.New(uint64(12+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range treePtrs(f) {
+		if p == orig[i] {
+			t.Fatalf("tree slot %d never refreshed", i)
+		}
+	}
+}
+
+type treePtr = interface{}
+
+func treePtrs(f *Forest) []treePtr {
+	out := make([]treePtr, len(f.trees))
+	for i, tr := range f.trees {
+		out[i] = tr
+	}
+	return out
+}
+
+func TestUpdateKeepsQuality(t *testing.T) {
+	// Growing the data via updates should not be much worse than full
+	// refits on the same final data.
+	r := rng.New(20)
+	X, y := friedman(r, 400)
+	Xt, yt := friedman(r, 200)
+
+	warm, err := Fit(X[:100], y[:100], numFeatures(7), Config{NumTrees: 32}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 12; step++ {
+		n := 100 + (step+1)*25
+		if err := warm.Update(X[:n], y[:n], rng.New(uint64(22+step))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold, err := Fit(X, y, numFeatures(7), Config{NumTrees: 32}, rng.New(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRMSE := warm.rmseOn(Xt, yt)
+	coldRMSE := cold.rmseOn(Xt, yt)
+	if warmRMSE > coldRMSE*1.5 {
+		t.Fatalf("warm updates degrade too much: %v vs %v", warmRMSE, coldRMSE)
+	}
+}

@@ -1,0 +1,293 @@
+// Package gp implements Gaussian-process regression — the surrogate the
+// paper's §II-B discusses and rejects in favour of random forests. It is
+// included as a comparator: GPs "usually work well for numerical
+// features but not categorical features and fit only noise-free or
+// Gaussian noise observations". The ablation benchmarks make that
+// comparison concrete on this repo's mixed spaces.
+//
+// The model is standard exact GP regression (Rasmussen & Williams ch. 2)
+// with a product kernel over dimensions: a squared-exponential kernel on
+// standardized numeric features and an overlap kernel (1 if equal, δ
+// otherwise) on categorical features. Hyperparameters are chosen by a
+// coarse grid search over the log marginal likelihood unless fixed in
+// the Config. Training is O(n³) in the number of labeled samples, which
+// is fine at active-learning scales (n ≤ 500).
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// Config controls GP fitting. Zero values mean "choose automatically":
+// length scale 1 (on standardized inputs), signal variance Var(y), noise
+// variance 1% of Var(y), categorical δ 0.5, with a marginal-likelihood
+// grid search refining length scale and noise.
+type Config struct {
+	// LengthScale is the shared SE length scale on standardized numeric
+	// inputs; 0 enables the grid search.
+	LengthScale float64
+
+	// NoiseVar is the observation noise variance relative to Var(y);
+	// 0 enables the grid search.
+	NoiseVar float64
+
+	// CatDelta is the kernel value for unequal categorical levels
+	// (0 < δ < 1); 0 defaults to 0.5.
+	CatDelta float64
+}
+
+// GP is a fitted Gaussian-process regressor. It satisfies the
+// core.Model surrogate interface.
+type GP struct {
+	features []space.Feature
+	cfg      Config
+
+	// standardization of inputs (numeric dims) and targets.
+	xMean, xStd []float64
+	yMean, yStd float64
+
+	X     [][]float64 // standardized training inputs
+	alpha []float64   // (K+σ²I)⁻¹ y_std
+	chol  [][]float64 // Cholesky factor of K+σ²I
+
+	lengthScale float64
+	noiseVar    float64 // in standardized-y units
+	catDelta    float64
+	lml         float64
+}
+
+// Fit trains a GP on (X, y) with the column description features. r is
+// accepted for interface symmetry with forest.Fit; exact GP fitting is
+// deterministic and ignores it.
+func Fit(X [][]float64, y []float64, features []space.Feature, cfg Config, r *rng.RNG) (*GP, error) {
+	_ = r
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("gp: empty training set")
+	}
+	if n != len(y) {
+		return nil, fmt.Errorf("gp: len(X)=%d but len(y)=%d", n, len(y))
+	}
+	d := len(features)
+	if d == 0 {
+		return nil, fmt.Errorf("gp: no features")
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("gp: row %d has %d columns, want %d", i, len(row), d)
+		}
+	}
+
+	g := &GP{features: features, cfg: cfg}
+	g.catDelta = cfg.CatDelta
+	if g.catDelta <= 0 || g.catDelta >= 1 {
+		g.catDelta = 0.5
+	}
+
+	// Standardize inputs per numeric dimension and the targets.
+	g.xMean = make([]float64, d)
+	g.xStd = make([]float64, d)
+	for j := 0; j < d; j++ {
+		if features[j].Kind == space.FeatCategorical {
+			g.xStd[j] = 1
+			continue
+		}
+		var mean float64
+		for i := 0; i < n; i++ {
+			mean += X[i][j]
+		}
+		mean /= float64(n)
+		var varr float64
+		for i := 0; i < n; i++ {
+			dv := X[i][j] - mean
+			varr += dv * dv
+		}
+		varr /= float64(n)
+		g.xMean[j] = mean
+		g.xStd[j] = math.Sqrt(varr)
+		if g.xStd[j] == 0 {
+			g.xStd[j] = 1
+		}
+	}
+	for _, v := range y {
+		g.yMean += v
+	}
+	g.yMean /= float64(n)
+	for _, v := range y {
+		dv := v - g.yMean
+		g.yStd += dv * dv
+	}
+	g.yStd = math.Sqrt(g.yStd / float64(n))
+	if g.yStd == 0 {
+		g.yStd = 1
+	}
+
+	g.X = make([][]float64, n)
+	for i := range X {
+		g.X[i] = g.standardize(X[i])
+	}
+	ys := make([]float64, n)
+	for i := range y {
+		ys[i] = (y[i] - g.yMean) / g.yStd
+	}
+
+	// Hyperparameter candidates: fixed values or a coarse grid.
+	lengthScales := []float64{cfg.LengthScale}
+	if cfg.LengthScale <= 0 {
+		lengthScales = []float64{0.3, 0.7, 1.5, 3}
+	}
+	noises := []float64{cfg.NoiseVar}
+	if cfg.NoiseVar <= 0 {
+		noises = []float64{1e-4, 1e-2, 1e-1}
+	}
+
+	bestLML := math.Inf(-1)
+	var fitted bool
+	for _, ls := range lengthScales {
+		for _, nv := range noises {
+			chol, alpha, lml, err := g.factorize(ys, ls, nv)
+			if err != nil {
+				continue
+			}
+			if lml > bestLML {
+				bestLML = lml
+				g.chol, g.alpha = chol, alpha
+				g.lengthScale, g.noiseVar = ls, nv
+				g.lml = lml
+				fitted = true
+			}
+		}
+	}
+	if !fitted {
+		return nil, fmt.Errorf("gp: no hyperparameter candidate produced a positive-definite kernel")
+	}
+	return g, nil
+}
+
+// standardize maps a raw feature vector to kernel space.
+func (g *GP) standardize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		if g.features[j].Kind == space.FeatCategorical {
+			out[j] = x[j]
+			continue
+		}
+		out[j] = (x[j] - g.xMean[j]) / g.xStd[j]
+	}
+	return out
+}
+
+// kernel evaluates the product kernel between standardized points.
+func (g *GP) kernel(a, b []float64, ls float64) float64 {
+	k := 1.0
+	for j := range a {
+		if g.features[j].Kind == space.FeatCategorical {
+			if a[j] != b[j] {
+				k *= g.catDelta
+			}
+			continue
+		}
+		dv := (a[j] - b[j]) / ls
+		k *= math.Exp(-0.5 * dv * dv)
+	}
+	return k
+}
+
+// factorize builds K+σ²I for the candidate hyperparameters, returning
+// the Cholesky factor, alpha and log marginal likelihood.
+func (g *GP) factorize(ys []float64, ls, noiseVar float64) (chol [][]float64, alpha []float64, lml float64, err error) {
+	n := len(g.X)
+	K := make([][]float64, n)
+	for i := range K {
+		K[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := g.kernel(g.X[i], g.X[j], ls)
+			K[i][j] = v
+			K[j][i] = v
+		}
+	}
+	jitter := noiseVar
+	if jitter < 1e-10 {
+		jitter = 1e-10
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		for i := range K {
+			K[i][i] = 1 + jitter
+		}
+		chol, err = linalg.Cholesky(K)
+		if err == nil {
+			break
+		}
+		jitter *= 10
+	}
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	alpha = linalg.CholeskySolve(chol, ys)
+	// log p(y) = -0.5 yᵀα - 0.5 log|K| - n/2 log 2π
+	lml = -0.5*linalg.Dot(ys, alpha) - 0.5*linalg.LogDetFromChol(chol) - float64(n)/2*math.Log(2*math.Pi)
+	return chol, alpha, lml, nil
+}
+
+// Predict returns the posterior mean at x (raw feature space).
+func (g *GP) Predict(x []float64) float64 {
+	mu, _ := g.PredictWithUncertainty(x)
+	return mu
+}
+
+// PredictWithUncertainty returns the posterior mean and the latent
+// standard deviation at x.
+func (g *GP) PredictWithUncertainty(x []float64) (mu, sigma float64) {
+	xs := g.standardize(x)
+	n := len(g.X)
+	ks := make([]float64, n)
+	for i := range g.X {
+		ks[i] = g.kernel(xs, g.X[i], g.lengthScale)
+	}
+	muStd := linalg.Dot(ks, g.alpha)
+	v := linalg.SolveLower(g.chol, ks)
+	varStd := 1 - linalg.Dot(v, v)
+	if varStd < 0 {
+		varStd = 0
+	}
+	return muStd*g.yStd + g.yMean, math.Sqrt(varStd) * g.yStd
+}
+
+// PredictObservedWithUncertainty returns the posterior mean and the
+// *observation* standard deviation at x — the latent variance plus the
+// fitted noise variance. Use this when comparing against noisy
+// measurements (calibration); the latent sigma of
+// PredictWithUncertainty is the right signal for active-learning
+// acquisition, where re-sampling a well-understood point only to fight
+// label noise is wasted budget.
+func (g *GP) PredictObservedWithUncertainty(x []float64) (mu, sigma float64) {
+	mu, latent := g.PredictWithUncertainty(x)
+	latentStd := latent / g.yStd
+	varStd := latentStd*latentStd + g.noiseVar
+	return mu, math.Sqrt(varStd) * g.yStd
+}
+
+// PredictBatch predicts every row of X; together with Predict it
+// satisfies the core.Model interface.
+func (g *GP) PredictBatch(X [][]float64) (mu, sigma []float64) {
+	mu = make([]float64, len(X))
+	sigma = make([]float64, len(X))
+	for i, x := range X {
+		mu[i], sigma[i] = g.PredictWithUncertainty(x)
+	}
+	return mu, sigma
+}
+
+// LogMarginalLikelihood returns the selected model's log marginal
+// likelihood (standardized-target units).
+func (g *GP) LogMarginalLikelihood() float64 { return g.lml }
+
+// Hyperparameters returns the selected length scale and noise variance.
+func (g *GP) Hyperparameters() (lengthScale, noiseVar float64) {
+	return g.lengthScale, g.noiseVar
+}

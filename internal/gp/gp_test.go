@@ -1,0 +1,243 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+func numFeatures(n int) []space.Feature {
+	fs := make([]space.Feature, n)
+	for i := range fs {
+		fs[i] = space.Feature{Name: string(rune('a' + i)), Kind: space.FeatNumeric}
+	}
+	return fs
+}
+
+func TestFitErrors(t *testing.T) {
+	fs := numFeatures(1)
+	if _, err := Fit(nil, nil, fs, Config{}, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, fs, Config{}, nil); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1}, nil, Config{}, nil); err == nil {
+		t.Fatal("no features accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, []float64{1}, fs, Config{}, nil); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestInterpolatesSmoothFunction(t *testing.T) {
+	r := rng.New(1)
+	n := 60
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		v := r.Float64() * 6
+		X[i] = []float64{v}
+		y[i] = math.Sin(v)
+	}
+	g, err := Fit(X, y, numFeatures(1), Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		v := r.Float64() * 6
+		got := g.Predict([]float64{v})
+		if math.Abs(got-math.Sin(v)) > 0.1 {
+			t.Fatalf("sin(%v): predicted %v", v, got)
+		}
+	}
+}
+
+func TestUncertaintySmallAtDataLargeAway(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{0, 1, 0, 1}
+	g, err := Fit(X, y, numFeatures(1), Config{LengthScale: 1, NoiseVar: 1e-4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, atData := g.PredictWithUncertainty([]float64{1})
+	_, away := g.PredictWithUncertainty([]float64{50})
+	if atData >= away {
+		t.Fatalf("sigma at data %v >= away %v", atData, away)
+	}
+	if away <= 0 {
+		t.Fatal("no extrapolation uncertainty")
+	}
+}
+
+func TestMeanRevertsToPrior(t *testing.T) {
+	// Far from data the posterior mean returns to the target mean.
+	X := [][]float64{{0}, {1}}
+	y := []float64{10, 20}
+	g, err := Fit(X, y, numFeatures(1), Config{LengthScale: 1, NoiseVar: 1e-4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := g.Predict([]float64{1000})
+	if math.Abs(far-15) > 0.5 {
+		t.Fatalf("far prediction %v, want prior mean 15", far)
+	}
+}
+
+func TestGridSearchPicksBetterLML(t *testing.T) {
+	r := rng.New(2)
+	n := 50
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		v := r.Float64() * 10
+		X[i] = []float64{v}
+		y[i] = math.Sin(v) + 0.01*r.Norm()
+	}
+	auto, err := Fit(X, y, numFeatures(1), Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately bad fixed configuration.
+	bad, err := Fit(X, y, numFeatures(1), Config{LengthScale: 100, NoiseVar: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.LogMarginalLikelihood() <= bad.LogMarginalLikelihood() {
+		t.Fatalf("grid search LML %v not better than bad %v", auto.LogMarginalLikelihood(), bad.LogMarginalLikelihood())
+	}
+}
+
+func TestCategoricalKernel(t *testing.T) {
+	fs := []space.Feature{
+		{Name: "x", Kind: space.FeatNumeric},
+		{Name: "c", Kind: space.FeatCategorical, NumCategories: 3},
+	}
+	var X [][]float64
+	var y []float64
+	r := rng.New(3)
+	for i := 0; i < 90; i++ {
+		c := float64(r.Intn(3))
+		v := r.Float64()
+		X = append(X, []float64{v, c})
+		y = append(y, v+5*c)
+	}
+	g, err := Fit(X, y, fs, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := g.Predict([]float64{0.5, 0})
+	p2 := g.Predict([]float64{0.5, 2})
+	if p2-p0 < 5 {
+		t.Fatalf("categorical effect not learned: %v vs %v", p0, p2)
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	g, err := Fit(X, y, numFeatures(1), Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Predict([]float64{2}); math.Abs(got-7) > 1e-6 {
+		t.Fatalf("constant prediction %v", got)
+	}
+}
+
+func TestPredictBatchMatchesSingle(t *testing.T) {
+	r := rng.New(4)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		v := r.Float64()
+		X = append(X, []float64{v})
+		y = append(y, v*v)
+	}
+	g, err := Fit(X, y, numFeatures(1), Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, sigma := g.PredictBatch(X)
+	for i := range X {
+		m, s := g.PredictWithUncertainty(X[i])
+		if mu[i] != m || sigma[i] != s {
+			t.Fatal("batch mismatch")
+		}
+	}
+}
+
+func TestDuplicateInputsWithNoise(t *testing.T) {
+	// Identical x with different y (noisy measurements) must not break
+	// the factorization (the noise/jitter term keeps K PD).
+	X := [][]float64{{1}, {1}, {1}, {2}}
+	y := []float64{1.0, 1.1, 0.9, 5}
+	g, err := Fit(X, y, numFeatures(1), Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Predict([]float64{1}); math.Abs(got-1) > 0.3 {
+		t.Fatalf("noisy duplicate prediction %v", got)
+	}
+}
+
+func TestRFBeatsGPOnTreeStructuredSpace(t *testing.T) {
+	// The paper's §II-B argument: on a mixed space with interactions and
+	// multiplicative structure (like compilation-parameter surfaces),
+	// random forests outperform a plain GP. Construct such a surface.
+	fs := []space.Feature{
+		{Name: "tile", Kind: space.FeatNumeric},
+		{Name: "mode", Kind: space.FeatCategorical, NumCategories: 4},
+		{Name: "u", Kind: space.FeatNumeric},
+	}
+	r := rng.New(5)
+	gen := func(n int) ([][]float64, []float64) {
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range X {
+			tile := float64(int(1) << uint(r.Intn(8))) // 1..128: multiplicative scale
+			mode := float64(r.Intn(4))
+			u := float64(1 + r.Intn(16))
+			X[i] = []float64{tile, mode, u}
+			t := 1 / (1 + tile/32)
+			if tile > 64 {
+				t *= 3 // capacity cliff
+			}
+			if mode == 2 {
+				t *= 0.5
+			}
+			if u > 8 && mode != 1 {
+				t *= 1.8 // interaction
+			}
+			y[i] = t
+		}
+		return X, y
+	}
+	X, y := gen(250)
+	Xt, yt := gen(300)
+
+	g, err := Fit(X, y, fs, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := forest.Fit(X, y, fs, forest.Config{NumTrees: 64}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse := func(pred []float64) float64 {
+		var sse float64
+		for i := range yt {
+			d := pred[i] - yt[i]
+			sse += d * d
+		}
+		return math.Sqrt(sse / float64(len(yt)))
+	}
+	gpMu, _ := g.PredictBatch(Xt)
+	rfMu, _ := f.PredictBatch(Xt)
+	if rmse(rfMu) >= rmse(gpMu) {
+		t.Fatalf("RF %v not better than GP %v on tree-structured space", rmse(rfMu), rmse(gpMu))
+	}
+}

@@ -1,0 +1,219 @@
+// Package hypre models the hypre new_ij test driver solving a 27-point
+// 3-D Laplacian — the second application benchmark of the paper — with
+// the tunable parameters of Table III:
+//
+//	solver     — new_ij solver id: 0–15, 18, 20, 43–45, 50–51, 60–61
+//	             (BoomerAMG, AMG/DS/ParaSails/PILUT/Schwarz/Euclid
+//	             preconditioned PCG/GMRES/BiCGSTAB/CGNR variants,
+//	             hybrid and LGMRES/FlexGMRES solvers)
+//	coarsening — BoomerAMG coarsening scheme: pmis or hmis
+//	smtype     — BoomerAMG relaxation (smoother) type 0–8
+//	#process   — MPI ranks: 8..512
+//
+// TrueTime computes the solve time from the textbook iterative-solver
+// decomposition
+//
+//	time = setup(P) + iterations(ρ) × cycle(P)
+//
+// where ρ is the convergence factor of the (solver, coarsening, smoother)
+// combination, iterations = log(tol)/log(ρ) capped at the driver's
+// maximum, and cycle(P) contains the per-rank flops plus an α–β halo
+// exchange and latency-bound coarse-grid/allreduce terms that stop strong
+// scaling at high rank counts.
+//
+// The traits table gives the modeled space the hypre character the paper
+// relies on: a few excellent AMG-preconditioned configurations, a broad
+// mediocre middle, and genuinely awful corners (weakly preconditioned
+// Krylov on a 27-point Laplacian hits the iteration cap) that produce the
+// outliers random forests must tolerate. See DESIGN.md §2.
+package hypre
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/space"
+)
+
+// Problem scale: 27-point Laplacian on a 200³ grid.
+const (
+	gridN      = 200
+	unknowns   = gridN * gridN * gridN
+	nnzPerRow  = 27
+	tol        = 1e-8
+	maxIter    = 500
+	flopPerNnz = 2
+)
+
+// SolverIDs are the new_ij solver ids of Table III, in table order.
+var SolverIDs = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 18, 20, 43, 44, 45, 50, 51, 60, 61}
+
+// traits describe a solver id's behaviour on the 27-pt Laplacian.
+type traits struct {
+	// usesAMG: BoomerAMG appears as solver or preconditioner, making the
+	// coarsening and smoother parameters live.
+	usesAMG bool
+
+	// setupUnits is the setup cost in units of one fine-grid matvec.
+	setupUnits float64
+
+	// iterUnits is the per-iteration cost in matvec units (Krylov vector
+	// work + preconditioner application).
+	iterUnits float64
+
+	// rho is the base convergence factor per iteration.
+	rho float64
+
+	// commFactor scales the per-iteration latency-bound communication
+	// (AMG V-cycles traverse coarse levels; plain Krylov does not).
+	commFactor float64
+}
+
+// solverTraits maps each Table III solver id to its modeled behaviour.
+// The ids follow the hypre new_ij driver: 0 = BoomerAMG standalone,
+// 1 = AMG-PCG, 2 = DS-PCG, 3 = AMG-GMRES, 4 = DS-GMRES, 5 = AMG-CGNR,
+// 6 = DS-CGNR, 7 = PILUT-GMRES, 8 = ParaSails-PCG, 9 = AMG-BiCGSTAB,
+// 10 = DS-BiCGSTAB, 11 = PCG (no preconditioner), 12 = Schwarz-PCG,
+// 13 = GMRES, 14 = BiCGSTAB, 15 = CGNR, 18 = ParaSails-GMRES,
+// 20 = AMG-hybrid, 43–45 = Euclid-PCG/GMRES/BiCGSTAB, 50–51 = LGMRES /
+// AMG-LGMRES, 60–61 = FlexGMRES / AMG-FlexGMRES.
+var solverTraits = map[int]traits{
+	0:  {usesAMG: true, setupUnits: 30, iterUnits: 3.2, rho: 0.12, commFactor: 2.2},
+	1:  {usesAMG: true, setupUnits: 30, iterUnits: 3.8, rho: 0.10, commFactor: 2.2},
+	2:  {setupUnits: 2, iterUnits: 1.3, rho: 0.945, commFactor: 1},
+	3:  {usesAMG: true, setupUnits: 30, iterUnits: 4.1, rho: 0.11, commFactor: 2.2},
+	4:  {setupUnits: 2, iterUnits: 1.6, rho: 0.950, commFactor: 1},
+	5:  {usesAMG: true, setupUnits: 30, iterUnits: 4.6, rho: 0.35, commFactor: 2.2},
+	6:  {setupUnits: 2, iterUnits: 2.2, rho: 0.985, commFactor: 1},
+	7:  {setupUnits: 45, iterUnits: 2.6, rho: 0.55, commFactor: 1.2},
+	8:  {setupUnits: 25, iterUnits: 2.2, rho: 0.60, commFactor: 1.1},
+	9:  {usesAMG: true, setupUnits: 30, iterUnits: 5.2, rho: 0.09, commFactor: 2.2},
+	10: {setupUnits: 2, iterUnits: 2.4, rho: 0.940, commFactor: 1},
+	11: {setupUnits: 1, iterUnits: 1.2, rho: 0.965, commFactor: 1},
+	12: {setupUnits: 35, iterUnits: 3.0, rho: 0.50, commFactor: 1.3},
+	13: {setupUnits: 1, iterUnits: 1.5, rho: 0.970, commFactor: 1},
+	14: {setupUnits: 1, iterUnits: 2.2, rho: 0.960, commFactor: 1},
+	15: {setupUnits: 1, iterUnits: 2.0, rho: 0.992, commFactor: 1},
+	18: {setupUnits: 25, iterUnits: 2.5, rho: 0.62, commFactor: 1.1},
+	20: {usesAMG: true, setupUnits: 18, iterUnits: 3.0, rho: 0.18, commFactor: 1.8},
+	43: {setupUnits: 40, iterUnits: 2.4, rho: 0.48, commFactor: 1.2},
+	44: {setupUnits: 40, iterUnits: 2.7, rho: 0.50, commFactor: 1.2},
+	45: {setupUnits: 40, iterUnits: 3.3, rho: 0.46, commFactor: 1.2},
+	50: {setupUnits: 1, iterUnits: 1.7, rho: 0.968, commFactor: 1},
+	51: {usesAMG: true, setupUnits: 30, iterUnits: 4.3, rho: 0.12, commFactor: 2.2},
+	60: {setupUnits: 1, iterUnits: 1.8, rho: 0.966, commFactor: 1},
+	61: {usesAMG: true, setupUnits: 30, iterUnits: 4.4, rho: 0.11, commFactor: 2.2},
+}
+
+// smootherRho is the multiplicative effect of BoomerAMG relaxation type
+// 0–8 on the AMG convergence factor (and smootherCost on cycle cost).
+// Types model hypre's relax menu: 0 = Jacobi (weak, cheap), 3/4 = hybrid
+// Gauss-Seidel forward/backward (the solid default), 6 = symmetric GS
+// (strong, costlier), 8 = l1-symmetric GS, others in between; type 5
+// (chaotic GS) degrades badly at scale and supplies the space's
+// bad-smoother corner.
+var (
+	smootherRho  = [9]float64{1.9, 1.5, 1.4, 1.0, 1.05, 9.0, 0.85, 1.25, 0.9}
+	smootherCost = [9]float64{0.7, 0.8, 0.9, 1.0, 1.0, 0.9, 1.5, 1.1, 1.4}
+)
+
+// Hypre is the modeled application benchmark.
+type Hypre struct {
+	space    *space.Space
+	platform *machine.Platform
+}
+
+// New returns the hypre benchmark on Platform B.
+func New() *Hypre {
+	names := make([]string, len(SolverIDs))
+	for i, id := range SolverIDs {
+		names[i] = fmt.Sprintf("%d", id)
+	}
+	sp := space.MustNew(
+		space.Cat("solver", names...),
+		space.Cat("coarsening", "pmis", "hmis"),
+		space.NumRange("smtype", 0, 8, 1),
+		space.Num("#process", 8, 16, 32, 64, 128, 256, 512),
+	)
+	return &Hypre{space: sp, platform: machine.PlatformB()}
+}
+
+// Name returns "hypre".
+func (h *Hypre) Name() string { return "hypre" }
+
+// Description returns a one-line description.
+func (h *Hypre) Description() string {
+	return "hypre new_ij driver, 27-pt 3-D Laplacian (Table III parameters)"
+}
+
+// Space returns the Table III parameter space.
+func (h *Hypre) Space() *space.Space { return h.space }
+
+// Platform returns Platform B.
+func (h *Hypre) Platform() *machine.Platform { return h.platform }
+
+// SolverID returns the numeric new_ij solver id of configuration c.
+func (h *Hypre) SolverID(c space.Config) int {
+	return SolverIDs[h.space.LevelByName(c, "solver")]
+}
+
+// TrueTime returns the modeled noise-free solve wall time in seconds for
+// configuration c.
+func (h *Hypre) TrueTime(c space.Config) float64 {
+	p := h.platform
+	tr, ok := solverTraits[h.SolverID(c)]
+	if !ok {
+		panic(fmt.Sprintf("hypre: no traits for solver %d", h.SolverID(c)))
+	}
+	hmis := h.space.NameOf(c, h.space.IndexOf("coarsening")) == "hmis"
+	sm := h.space.LevelByName(c, "smtype")
+	procs := h.space.ValueByName(c, "#process")
+
+	// --- Convergence factor of the full combination.
+	rho := tr.rho
+	setup := tr.setupUnits
+	iterCost := tr.iterUnits
+	if tr.usesAMG {
+		// Smoother quality multiplies the AMG convergence factor.
+		rho = math.Min(0.999, rho*smootherRho[sm])
+		iterCost *= smootherCost[sm]
+		if hmis {
+			// HMIS: denser coarsening — better convergence, costlier
+			// setup and cycles.
+			rho *= 0.85
+			setup *= 1.25
+			iterCost *= 1.12
+		} else {
+			rho *= 1.0
+			iterCost *= 1.0
+		}
+	}
+	iters := math.Ceil(math.Log(tol) / math.Log(rho))
+	if iters < 1 {
+		iters = 1
+	}
+	if iters > maxIter {
+		iters = maxIter // driver hits the iteration cap: an outlier run
+	}
+
+	// --- One fine-grid matvec on P ranks.
+	flops := float64(unknowns) * nnzPerRow * flopPerNnz
+	perRankFlops := flops / procs
+	matvecComp := p.ComputeTime(perRankFlops, 0.25) // SpMV runs far from peak
+
+	// Halo exchange: 6 faces of the per-rank subdomain.
+	perRankCells := float64(unknowns) / procs
+	faceBytes := math.Pow(perRankCells, 2.0/3.0) * 8
+	halo := 6 * p.Net.MessageTime(faceBytes)
+
+	// Latency-bound terms: dot-product allreduces and (for AMG) the
+	// coarse-level ladder, both growing with log P.
+	latency := (4 + 10*tr.commFactor) * math.Log2(procs) * p.Net.AlphaSec * 20
+
+	matvec := matvecComp + halo + latency
+
+	setupTime := setup * matvec * 1.4 // setup is matrix-matrix heavy
+	solveTime := iters * iterCost * matvec
+	return 0.3 + setupTime + solveTime
+}

@@ -1,0 +1,187 @@
+package hypre
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+func TestTableIIISpace(t *testing.T) {
+	h := New()
+	sp := h.Space()
+	if sp.NumParams() != 4 {
+		t.Fatalf("hypre has %d params, Table III lists 4", sp.NumParams())
+	}
+	solver, _ := sp.ByName("solver")
+	if solver.Kind != space.Categorical || solver.NumLevels() != 25 {
+		t.Fatalf("solver = %d levels, Table III lists 25 ids", solver.NumLevels())
+	}
+	co, _ := sp.ByName("coarsening")
+	if co.NumLevels() != 2 {
+		t.Fatalf("coarsening = %+v", co)
+	}
+	sm, _ := sp.ByName("smtype")
+	if sm.NumLevels() != 9 {
+		t.Fatalf("smtype = %+v", sm)
+	}
+	pr, _ := sp.ByName("#process")
+	if pr.NumLevels() != 7 || pr.Levels[0] != 8 || pr.Levels[6] != 512 {
+		t.Fatalf("#process = %+v", pr)
+	}
+}
+
+func TestAllSolverIDsHaveTraits(t *testing.T) {
+	if len(SolverIDs) != 25 {
+		t.Fatalf("%d solver ids, want 25", len(SolverIDs))
+	}
+	for _, id := range SolverIDs {
+		if _, ok := solverTraits[id]; !ok {
+			t.Fatalf("solver %d has no traits", id)
+		}
+	}
+	for _, id := range SolverIDs {
+		tr := solverTraits[id]
+		if tr.rho <= 0 || tr.rho >= 1 {
+			t.Fatalf("solver %d rho = %v outside (0,1)", id, tr.rho)
+		}
+		if tr.setupUnits <= 0 || tr.iterUnits <= 0 || tr.commFactor <= 0 {
+			t.Fatalf("solver %d has non-positive cost units", id)
+		}
+	}
+}
+
+func TestTrueTimePositiveFinite(t *testing.T) {
+	h := New()
+	for _, c := range h.Space().Enumerate() {
+		y := h.TrueTime(c)
+		if y <= 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+			t.Fatalf("TrueTime(%s) = %v", h.Space().String(c), y)
+		}
+	}
+}
+
+// mk builds a config by level indices.
+func mk(h *Hypre, solverLevel, coarsenLevel, smLevel, procLevel int) space.Config {
+	sp := h.Space()
+	c := make(space.Config, sp.NumParams())
+	c[sp.IndexOf("solver")] = solverLevel
+	c[sp.IndexOf("coarsening")] = coarsenLevel
+	c[sp.IndexOf("smtype")] = smLevel
+	c[sp.IndexOf("#process")] = procLevel
+	return c
+}
+
+func TestAMGBeatsUnpreconditioned(t *testing.T) {
+	h := New()
+	// Solver level 1 = AMG-PCG, level 11 = plain PCG (id 11), same rest.
+	amg := h.TrueTime(mk(h, 1, 0, 3, 3))
+	plain := h.TrueTime(mk(h, 11, 0, 3, 3))
+	if amg >= plain {
+		t.Fatalf("AMG-PCG %v not faster than plain PCG %v on the Laplacian", amg, plain)
+	}
+}
+
+func TestIterationCapCreatesOutliers(t *testing.T) {
+	// CGNR without preconditioner (id 15, level index?) is nearly
+	// divergent: it must hit the cap and be dramatically slower than the
+	// best configuration.
+	h := New()
+	sp := h.Space()
+	var worst, best = 0.0, math.Inf(1)
+	for _, c := range sp.Enumerate() {
+		y := h.TrueTime(c)
+		if y > worst {
+			worst = y
+		}
+		if y < best {
+			best = y
+		}
+	}
+	if worst/best < 10 {
+		t.Fatalf("outlier ratio %v too small; hypre spaces are wilder", worst/best)
+	}
+}
+
+func TestSmootherMattersOnlyWithAMG(t *testing.T) {
+	h := New()
+	// AMG solver: smoother changes time.
+	a0 := h.TrueTime(mk(h, 1, 0, 0, 3))
+	a3 := h.TrueTime(mk(h, 1, 0, 3, 3))
+	if a0 == a3 {
+		t.Fatal("smoother dead for AMG solver")
+	}
+	// DS-PCG (level 2 = id 2): smoother inert, like the real driver.
+	d0 := h.TrueTime(mk(h, 2, 0, 0, 3))
+	d3 := h.TrueTime(mk(h, 2, 0, 3, 3))
+	if d0 != d3 {
+		t.Fatal("smoother affected a non-AMG solver")
+	}
+}
+
+func TestCoarseningTradeoff(t *testing.T) {
+	h := New()
+	// hmis improves convergence but costs more setup; with a good
+	// smoother both should be within 3x and differ.
+	pmis := h.TrueTime(mk(h, 1, 0, 3, 3))
+	hmis := h.TrueTime(mk(h, 1, 1, 3, 3))
+	if pmis == hmis {
+		t.Fatal("coarsening is a dead parameter")
+	}
+	if ratio := math.Max(pmis, hmis) / math.Min(pmis, hmis); ratio > 3 {
+		t.Fatalf("coarsening effect implausibly large: %v", ratio)
+	}
+}
+
+func TestStrongScalingSaturates(t *testing.T) {
+	h := New()
+	// AMG-PCG: going 8 -> 64 ranks should speed up clearly; going 256 ->
+	// 512 should gain much less (latency floor), possibly regress.
+	t8 := h.TrueTime(mk(h, 1, 0, 3, 0))
+	t64 := h.TrueTime(mk(h, 1, 0, 3, 3))
+	t256 := h.TrueTime(mk(h, 1, 0, 3, 5))
+	t512 := h.TrueTime(mk(h, 1, 0, 3, 6))
+	if t64 >= t8 {
+		t.Fatalf("no strong scaling: 8 ranks %v vs 64 ranks %v", t8, t64)
+	}
+	early := t8 / t64
+	late := t256 / t512
+	if late >= early {
+		t.Fatalf("scaling did not saturate: early %vx late %vx", early, late)
+	}
+}
+
+func TestBadSmootherPenalty(t *testing.T) {
+	// Chaotic GS (type 5) with AMG should be much worse than default (3).
+	h := New()
+	good := h.TrueTime(mk(h, 1, 0, 3, 3))
+	bad := h.TrueTime(mk(h, 1, 0, 5, 3))
+	if bad < good*3 {
+		t.Fatalf("bad smoother not penalised: good %v bad %v", good, bad)
+	}
+}
+
+func TestDynamicRangeAndScale(t *testing.T) {
+	h := New()
+	var times []float64
+	for _, c := range h.Space().Enumerate() {
+		times = append(times, h.TrueTime(c))
+	}
+	if stats.Min(times) < 0.1 || stats.Max(times) > 5000 {
+		t.Fatalf("times [%v, %v] implausible", stats.Min(times), stats.Max(times))
+	}
+	// Median should be moderate: most of the space is mediocre, not awful.
+	med := stats.Median(times)
+	if med > stats.Max(times)/3 {
+		t.Fatalf("median %v too close to max %v", med, stats.Max(times))
+	}
+}
+
+func TestSolverID(t *testing.T) {
+	h := New()
+	c := mk(h, 18, 0, 0, 0) // level 18 -> id 43
+	if got := h.SolverID(c); got != 43 {
+		t.Fatalf("SolverID = %d, want 43", got)
+	}
+}

@@ -1,0 +1,213 @@
+// Package kripke models the kripke mini-app (Kunen, Bailey, Brown 2015),
+// the LLNL proxy for a discrete-ordinates (Sₙ) particle-transport sweep
+// code, with the tunable parameters of the paper's Table II:
+//
+//	layout   — nesting order of Directions/Groups/Zones in memory
+//	           (DGZ, DZG, GDZ, GZD, ZDG, ZGD)
+//	gset     — number of energy-group sets (1..128)
+//	dset     — number of direction sets (8, 16, 32)
+//	pmethod  — parallel solve method: "sweep" (KBA pipelined wavefront)
+//	           or "bj" (block Jacobi)
+//	#process — MPI ranks (1..128)
+//
+// The real kripke runs on an MPI cluster (the paper's Platform B). Here
+// TrueTime computes the time from an analytic model of the same
+// structure:
+//
+//   - The zone work per rank is fixed by the 3-D domain decomposition.
+//   - The data layout sets the innermost memory stride of the sweep
+//     kernel; layouts with zones innermost (DGZ, GDZ) stream best for
+//     the zone-major sweep loop, direction-innermost layouts stride
+//     badly. gset/dset change the block sizes the kernel works on and
+//     therefore the cache behaviour and vector fill.
+//   - "sweep" pays the KBA pipeline-fill latency: with a Px×Py×Pz rank
+//     grid the wavefront needs Px+Py+Pz-2 stages before all ranks are
+//     busy, and gset*dset angle/group blocks pipeline through it; many
+//     small blocks fill the pipeline nicely but send many small
+//     messages (α-dominated), few large blocks send cheap messages but
+//     leave the pipeline draining (the classic KBA trade-off).
+//   - "bj" (block Jacobi) avoids the wavefront sync but needs more
+//     solver iterations to converge.
+//
+// See DESIGN.md §2 for the substitution argument.
+package kripke
+
+import (
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/space"
+)
+
+// Problem-scale constants: total zones, energy groups and directions of
+// the modeled input deck (kripke defaults: 16³ zones per rank at 128
+// ranks scale, 64 groups, 96 directions).
+const (
+	totalZones = 256 * 192 * 128
+	numGroups  = 64
+	numDirs    = 96
+
+	// flopsPerUnknown is the sweep work per (zone, direction, group).
+	flopsPerUnknown = 45
+
+	// bytesPerUnknown is the sweep memory traffic per unknown.
+	bytesPerUnknown = 28
+)
+
+// Layouts are the six data nesting orders of Table II.
+var Layouts = []string{"DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD"}
+
+// Kripke is the modeled application benchmark.
+type Kripke struct {
+	space    *space.Space
+	platform *machine.Platform
+}
+
+// New returns the kripke benchmark on Platform B.
+func New() *Kripke {
+	sp := space.MustNew(
+		space.Cat("layout", Layouts...),
+		space.Num("gset", 1, 2, 4, 8, 16, 32, 64, 128),
+		space.Num("dset", 8, 16, 32),
+		space.Cat("pmethod", "sweep", "bj"),
+		space.Num("#process", 1, 2, 4, 8, 16, 32, 64, 128),
+	)
+	return &Kripke{space: sp, platform: machine.PlatformB()}
+}
+
+// Name returns "kripke".
+func (k *Kripke) Name() string { return "kripke" }
+
+// Description returns a one-line description.
+func (k *Kripke) Description() string {
+	return "LLNL discrete-ordinates transport proxy (Table II parameters)"
+}
+
+// Space returns the Table II parameter space.
+func (k *Kripke) Space() *space.Space { return k.space }
+
+// Platform returns Platform B.
+func (k *Kripke) Platform() *machine.Platform { return k.platform }
+
+// decompose splits p ranks into a 3-D grid Px×Py×Pz as balanced as
+// possible (kripke's default processor layout).
+func decompose(p int) (px, py, pz int) {
+	px, py, pz = 1, 1, 1
+	for p > 1 {
+		// Assign the next factor of 2 to the smallest dimension.
+		switch {
+		case px <= py && px <= pz:
+			px *= 2
+		case py <= pz:
+			py *= 2
+		default:
+			pz *= 2
+		}
+		p /= 2
+	}
+	return px, py, pz
+}
+
+// strideEfficiency returns the memory-stream efficiency of the sweep
+// kernel under the given layout. The sweep iterates zones in the inner
+// dimension; layouts that keep zones contiguous (…Z) stream at full
+// bandwidth, group-innermost are intermediate, direction-innermost
+// gather-scatter badly.
+func strideEfficiency(layout string) float64 {
+	switch layout[len(layout)-1] {
+	case 'Z':
+		return 1.0
+	case 'G':
+		return 0.55
+	default: // 'D'
+		return 0.35
+	}
+}
+
+// vectorFill returns the SIMD utilisation of the sweep under the layout
+// and direction-set size: direction-innermost layouts vectorise over
+// directions (good with large dsets), zone-innermost over zones (always
+// long enough).
+func vectorFill(layout string, dsetSize float64) float64 {
+	switch layout[len(layout)-1] {
+	case 'D':
+		return math.Min(1, dsetSize/16)
+	case 'Z':
+		return 0.9
+	default:
+		return 0.6
+	}
+}
+
+// TrueTime returns the modeled noise-free wall time in seconds of one
+// kripke solve under configuration c.
+func (k *Kripke) TrueTime(c space.Config) float64 {
+	p := k.platform
+	layout := k.space.NameOf(c, k.space.IndexOf("layout"))
+	gset := k.space.ValueByName(c, "gset")
+	dset := k.space.ValueByName(c, "dset")
+	pmethod := k.space.NameOf(c, k.space.IndexOf("pmethod"))
+	procs := int(k.space.ValueByName(c, "#process"))
+
+	px, py, pz := decompose(procs)
+	zonesPerRank := float64(totalZones) / float64(procs)
+
+	// Block structure: gset group-sets × dset direction-sets pipeline
+	// through the sweep. (kripke semantics: gset = number of group sets,
+	// dset = number of direction sets; each block holds groups/gset
+	// groups and dirs/dset directions.)
+	groupsPerSet := float64(numGroups) / gset
+	if groupsPerSet < 1 {
+		groupsPerSet = 1
+	}
+	dirsPerSet := float64(numDirs) / dset
+	if dirsPerSet < 1 {
+		dirsPerSet = 1
+	}
+	numBlocks := gset * dset
+
+	// --- Per-rank sweep kernel time for the whole angular/group space.
+	unknowns := zonesPerRank * float64(numGroups) * float64(numDirs)
+	flops := unknowns * flopsPerUnknown
+
+	// Cache behaviour: the kernel's working set is one block's zone
+	// pencil times the block's groups×directions.
+	wsBytes := math.Cbrt(zonesPerRank) * math.Cbrt(zonesPerRank) * groupsPerSet * dirsPerSet * 8
+	traffic := unknowns * bytesPerUnknown
+	memT := p.MemTime(traffic, wsBytes, strideEfficiency(layout))
+
+	compT := p.ComputeTime(flops, 0.55) / p.VectorSpeedup(0.8*vectorFill(layout, dirsPerSet))
+
+	// Small blocks add per-block kernel launch overhead.
+	blockOverhead := float64(numBlocks) * math.Cbrt(zonesPerRank) * 2e-7
+
+	kernelT := math.Max(compT, memT) + 0.3*math.Min(compT, memT) + blockOverhead
+
+	// --- Communication and parallel structure.
+	var commT, idleT float64
+	faceBytes := math.Pow(zonesPerRank, 2.0/3.0) * groupsPerSet * dirsPerSet * 8
+	iterations := 1.0
+	if pmethod == "sweep" {
+		// KBA: pipeline of numBlocks block-sweeps over a Px+Py+Pz-2
+		// stage wavefront; each stage sends one face message per
+		// neighbour (3 downstream faces).
+		stages := float64(px+py+pz) - 2
+		perBlockComm := 3 * p.Net.MessageTime(faceBytes)
+		commT = float64(numBlocks) * perBlockComm
+		// Pipeline fill/drain: the first block reaches the last rank
+		// after `stages` block-steps; work per block-step is
+		// kernelT/numBlocks.
+		idleT = stages * (kernelT/float64(numBlocks) + perBlockComm)
+	} else {
+		// Block Jacobi: no wavefront, but the transport iteration
+		// converges more slowly — extra full sweeps of local work, with
+		// one halo exchange per iteration (6 faces).
+		iterations = 2.4
+		commT = iterations * 6 * p.Net.MessageTime(faceBytes*float64(numBlocks)/4)
+	}
+
+	// Fixed setup plus per-rank MPI startup.
+	setup := 0.4 + 0.02*math.Log2(float64(procs)+1)
+
+	return setup + iterations*kernelT + commT + idleT
+}

@@ -1,0 +1,220 @@
+package kripke
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+func TestTableIISpace(t *testing.T) {
+	k := New()
+	sp := k.Space()
+	if sp.NumParams() != 5 {
+		t.Fatalf("kripke has %d params, Table II lists 5", sp.NumParams())
+	}
+	layout, _ := sp.ByName("layout")
+	if layout.Kind != space.Categorical || layout.NumLevels() != 6 {
+		t.Fatalf("layout = %+v", layout)
+	}
+	gset, _ := sp.ByName("gset")
+	if gset.NumLevels() != 8 || gset.Levels[0] != 1 || gset.Levels[7] != 128 {
+		t.Fatalf("gset = %+v", gset)
+	}
+	dset, _ := sp.ByName("dset")
+	if dset.NumLevels() != 3 {
+		t.Fatalf("dset = %+v", dset)
+	}
+	pm, _ := sp.ByName("pmethod")
+	if pm.Kind != space.Categorical || pm.NumLevels() != 2 {
+		t.Fatalf("pmethod = %+v", pm)
+	}
+	procs, _ := sp.ByName("#process")
+	if procs.NumLevels() != 8 || procs.Levels[7] != 128 {
+		t.Fatalf("#process = %+v", procs)
+	}
+	// Total: 6*8*3*2*8 = 2304 configurations.
+	if card, ok := sp.Cardinality(); !ok || card != 2304 {
+		t.Fatalf("cardinality = %d", card)
+	}
+}
+
+func TestPlatformB(t *testing.T) {
+	k := New()
+	if k.Platform().Name != "B" {
+		t.Fatalf("kripke runs on platform %s, want B", k.Platform().Name)
+	}
+	if k.Name() != "kripke" || k.Description() == "" {
+		t.Fatal("bad name/description")
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	cases := []struct{ p, want int }{
+		{1, 1}, {2, 2}, {4, 4}, {8, 8}, {16, 16}, {32, 32}, {64, 64}, {128, 128},
+	}
+	for _, c := range cases {
+		px, py, pz := decompose(c.p)
+		if px*py*pz != c.want {
+			t.Fatalf("decompose(%d) = %d*%d*%d", c.p, px, py, pz)
+		}
+		// Balanced: max/min dimension ratio at most 2.
+		mx := math.Max(float64(px), math.Max(float64(py), float64(pz)))
+		mn := math.Min(float64(px), math.Min(float64(py), float64(pz)))
+		if mx/mn > 2.01 && c.p >= 8 {
+			t.Fatalf("decompose(%d) unbalanced: %d %d %d", c.p, px, py, pz)
+		}
+	}
+}
+
+func TestTrueTimePositiveFinite(t *testing.T) {
+	k := New()
+	for _, c := range k.Space().Enumerate() {
+		y := k.TrueTime(c)
+		if y <= 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+			t.Fatalf("TrueTime(%s) = %v", k.Space().String(c), y)
+		}
+	}
+}
+
+func TestStrongScaling(t *testing.T) {
+	// With a good configuration, more processes must be faster over the
+	// powers of two up to 128, but with sub-linear speedup.
+	k := New()
+	sp := k.Space()
+	mk := func(procLevel int) space.Config {
+		c := make(space.Config, sp.NumParams())
+		c[sp.IndexOf("layout")] = 0  // DGZ
+		c[sp.IndexOf("gset")] = 3    // 8
+		c[sp.IndexOf("dset")] = 1    // 16
+		c[sp.IndexOf("pmethod")] = 0 // sweep
+		c[sp.IndexOf("#process")] = procLevel
+		return c
+	}
+	t1 := k.TrueTime(mk(0))
+	t128 := k.TrueTime(mk(7))
+	speedup := t1 / t128
+	if speedup < 8 {
+		t.Fatalf("128-rank speedup only %.1fx", speedup)
+	}
+	if speedup > 128 {
+		t.Fatalf("super-linear speedup %.1fx", speedup)
+	}
+	// Monotone decrease across the ladder.
+	prev := math.Inf(1)
+	for lvl := 0; lvl < 8; lvl++ {
+		cur := k.TrueTime(mk(lvl))
+		if cur >= prev {
+			t.Fatalf("time rose at process level %d: %v -> %v", lvl, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestLayoutMatters(t *testing.T) {
+	// Zone-innermost layouts (…Z) should beat direction-innermost (…D)
+	// for the zone-streaming sweep.
+	k := New()
+	sp := k.Space()
+	mk := func(layoutLevel int) space.Config {
+		c := make(space.Config, sp.NumParams())
+		c[sp.IndexOf("layout")] = layoutLevel
+		c[sp.IndexOf("gset")] = 3
+		c[sp.IndexOf("dset")] = 0
+		c[sp.IndexOf("pmethod")] = 0
+		c[sp.IndexOf("#process")] = 5
+		return c
+	}
+	dgz := k.TrueTime(mk(0)) // DGZ: zones innermost
+	zgd := k.TrueTime(mk(5)) // ZGD: directions innermost
+	if dgz >= zgd {
+		t.Fatalf("layout has no effect: DGZ %v vs ZGD %v", dgz, zgd)
+	}
+}
+
+func TestPMethodTradeoff(t *testing.T) {
+	// Both methods must be competitive somewhere: sweep wins at low rank
+	// counts (no extra iterations), and bj must not always lose, else the
+	// parameter is dead.
+	k := New()
+	sp := k.Space()
+	mk := func(pm, procLevel, gsetLevel int) space.Config {
+		c := make(space.Config, sp.NumParams())
+		c[sp.IndexOf("layout")] = 0
+		c[sp.IndexOf("gset")] = gsetLevel
+		c[sp.IndexOf("dset")] = 1
+		c[sp.IndexOf("pmethod")] = pm
+		c[sp.IndexOf("#process")] = procLevel
+		return c
+	}
+	if s, b := k.TrueTime(mk(0, 0, 3)), k.TrueTime(mk(1, 0, 3)); s >= b {
+		t.Fatalf("sweep should win serial: sweep %v vs bj %v", s, b)
+	}
+	// Find at least one configuration where bj beats sweep.
+	found := false
+	for _, c := range sp.Enumerate() {
+		if sp.NameOf(c, sp.IndexOf("pmethod")) != "sweep" {
+			continue
+		}
+		cb := c.Clone()
+		cb[sp.IndexOf("pmethod")] = 1
+		if k.TrueTime(cb) < k.TrueTime(c) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("bj never wins anywhere; pmethod is a dead parameter")
+	}
+}
+
+func TestGsetDsetTradeoff(t *testing.T) {
+	// Under sweep at high rank counts, the extremes of block granularity
+	// should be worse than some middle setting (KBA pipeline trade-off)
+	// or at least the parameter must matter.
+	k := New()
+	sp := k.Space()
+	mk := func(gsetLevel, dsetLevel int) space.Config {
+		c := make(space.Config, sp.NumParams())
+		c[sp.IndexOf("layout")] = 0
+		c[sp.IndexOf("gset")] = gsetLevel
+		c[sp.IndexOf("dset")] = dsetLevel
+		c[sp.IndexOf("pmethod")] = 0
+		c[sp.IndexOf("#process")] = 7
+		return c
+	}
+	coarse := k.TrueTime(mk(0, 0))
+	fine := k.TrueTime(mk(7, 2))
+	mid := k.TrueTime(mk(3, 1))
+	if mid >= coarse && mid >= fine {
+		t.Fatalf("no granularity sweet spot: coarse %v mid %v fine %v", coarse, mid, fine)
+	}
+	if coarse == fine && fine == mid {
+		t.Fatal("gset/dset are dead parameters")
+	}
+}
+
+func TestDynamicRange(t *testing.T) {
+	k := New()
+	var times []float64
+	for _, c := range k.Space().Enumerate() {
+		times = append(times, k.TrueTime(c))
+	}
+	ratio := stats.Max(times) / stats.Min(times)
+	if ratio < 5 {
+		t.Fatalf("dynamic range %.1fx too flat", ratio)
+	}
+	if stats.Min(times) < 0.5 || stats.Max(times) > 5000 {
+		t.Fatalf("times [%v, %v] implausible for an MPI mini-app", stats.Min(times), stats.Max(times))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	k := New()
+	c := k.Space().SampleConfig(rng.New(1))
+	if k.TrueTime(c) != k.TrueTime(c) {
+		t.Fatal("TrueTime not deterministic")
+	}
+}

@@ -1,0 +1,249 @@
+// Package machine models the execution platforms of the paper's Table IV
+// and provides the analytic hardware primitives the benchmark cost models
+// are built on: a cache hierarchy, a superscalar core with vector units
+// and registers, and an α–β (latency/bandwidth) interconnect.
+//
+// The paper labels samples by running programs on two Xeon clusters. That
+// hardware is not available here, so the SPAPT/kripke/hypre substrates
+// (internal/spapt, internal/kripke, internal/hypre) compute execution
+// times from these models instead. The models are deliberately simple —
+// the goal is a response surface with the right structure (capacity
+// cliffs, register-pressure walls, communication knees), not cycle
+// accuracy; see DESIGN.md §2.
+package machine
+
+import "math"
+
+// CacheLevel describes one level of the data-cache hierarchy.
+type CacheLevel struct {
+	Name string
+
+	// SizeBytes is the capacity of the level.
+	SizeBytes float64
+
+	// BytesPerSec is the sustainable bandwidth from this level to the
+	// core.
+	BytesPerSec float64
+
+	// LatencySec is the access latency of the level.
+	LatencySec float64
+}
+
+// Network is an α–β model of the cluster interconnect: sending an
+// n-byte message costs Alpha + n/Beta seconds.
+type Network struct {
+	// AlphaSec is the per-message latency.
+	AlphaSec float64
+
+	// BetaBytesPerSec is the point-to-point bandwidth.
+	BetaBytesPerSec float64
+}
+
+// MessageTime returns the α–β cost of one message of n bytes.
+func (n Network) MessageTime(bytes float64) float64 {
+	return n.AlphaSec + bytes/n.BetaBytesPerSec
+}
+
+// Platform is a node (plus interconnect) specification, the simulation
+// stand-in for a row of Table IV.
+type Platform struct {
+	Name string
+
+	// CPU identifies the processor model, for table output.
+	CPU string
+
+	// FreqHz is the core clock frequency.
+	FreqHz float64
+
+	// Cores is the number of physical cores per node.
+	Cores int
+
+	// MemoryBytes is the node DRAM capacity.
+	MemoryBytes float64
+
+	// IssueWidth is the per-cycle superscalar issue width for arithmetic.
+	IssueWidth int
+
+	// VectorLanes is the number of float64 lanes of the SIMD unit
+	// (4 for AVX2 on the Haswell/Broadwell parts in Table IV).
+	VectorLanes int
+
+	// Registers is the number of architectural floating-point/vector
+	// registers available to the register allocator (16 for x86-64 SSE/AVX).
+	Registers int
+
+	// FlopsPerCycle is the peak scalar FLOP throughput per cycle per core.
+	FlopsPerCycle float64
+
+	// Caches is the hierarchy ordered from L1 outward; the final entry
+	// must be DRAM (treated as infinite capacity).
+	Caches []CacheLevel
+
+	// Net is the cluster interconnect; zero-valued when the platform is
+	// used only for serial kernels.
+	Net Network
+}
+
+// PlatformA returns the simulation stand-in for Table IV's Platform A:
+// dual E5-2680 v3 (Haswell) nodes, 2.5 GHz, 24 cores, 64 GB, used for
+// the serial SPAPT kernels.
+func PlatformA() *Platform {
+	return &Platform{
+		Name:          "A",
+		CPU:           "E5-2680 v3",
+		FreqHz:        2.5e9,
+		Cores:         24,
+		MemoryBytes:   64e9,
+		IssueWidth:    4,
+		VectorLanes:   4,
+		Registers:     16,
+		FlopsPerCycle: 2,
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 32 << 10, BytesPerSec: 400e9, LatencySec: 1.6e-9},
+			{Name: "L2", SizeBytes: 256 << 10, BytesPerSec: 180e9, LatencySec: 4.8e-9},
+			{Name: "L3", SizeBytes: 30 << 20, BytesPerSec: 90e9, LatencySec: 14e-9},
+			{Name: "DRAM", SizeBytes: math.Inf(1), BytesPerSec: 20e9, LatencySec: 90e-9},
+		},
+	}
+}
+
+// PlatformB returns the simulation stand-in for Table IV's Platform B:
+// E5-2680 v4 (Broadwell) nodes, 2.4 GHz, 28 cores, 128 GB, 100 Gb/s
+// Omni-Path, used for the kripke and hypre applications.
+func PlatformB() *Platform {
+	return &Platform{
+		Name:          "B",
+		CPU:           "E5-2680 v4",
+		FreqHz:        2.4e9,
+		Cores:         28,
+		MemoryBytes:   128e9,
+		IssueWidth:    4,
+		VectorLanes:   4,
+		Registers:     16,
+		FlopsPerCycle: 2,
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 32 << 10, BytesPerSec: 400e9, LatencySec: 1.7e-9},
+			{Name: "L2", SizeBytes: 256 << 10, BytesPerSec: 180e9, LatencySec: 5e-9},
+			{Name: "L3", SizeBytes: 35 << 20, BytesPerSec: 95e9, LatencySec: 15e-9},
+			{Name: "DRAM", SizeBytes: math.Inf(1), BytesPerSec: 22e9, LatencySec: 85e-9},
+		},
+		// 100 Gbps Omni-Path: ~12.5 GB/s, ~1.5 µs MPI latency.
+		Net: Network{AlphaSec: 1.5e-6, BetaBytesPerSec: 12.5e9},
+	}
+}
+
+// PlatformC returns a third, newer node used by the model-portability
+// experiments (internal/transfer): a Skylake-class part with AVX-512
+// (8 float64 lanes, 32 vector registers), higher clock and a larger but
+// non-inclusive L3. It is not part of the paper's Table IV; it plays the
+// "new platform" of the paper's future-work question.
+func PlatformC() *Platform {
+	return &Platform{
+		Name:          "C",
+		CPU:           "Gold 6148",
+		FreqHz:        2.6e9,
+		Cores:         40,
+		MemoryBytes:   192e9,
+		IssueWidth:    4,
+		VectorLanes:   8,
+		Registers:     32,
+		FlopsPerCycle: 2,
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 32 << 10, BytesPerSec: 450e9, LatencySec: 1.5e-9},
+			{Name: "L2", SizeBytes: 1 << 20, BytesPerSec: 220e9, LatencySec: 4.5e-9},
+			{Name: "L3", SizeBytes: 27 << 20, BytesPerSec: 100e9, LatencySec: 16e-9},
+			{Name: "DRAM", SizeBytes: math.Inf(1), BytesPerSec: 25e9, LatencySec: 80e-9},
+		},
+		Net: Network{AlphaSec: 1.2e-6, BetaBytesPerSec: 12.5e9},
+	}
+}
+
+// PeakFlops returns the peak scalar FLOP/s of one core.
+func (p *Platform) PeakFlops() float64 {
+	return p.FreqHz * p.FlopsPerCycle
+}
+
+// LevelFor returns the innermost cache level whose capacity holds
+// workingSetBytes. The DRAM level always fits.
+func (p *Platform) LevelFor(workingSetBytes float64) CacheLevel {
+	for _, c := range p.Caches {
+		if workingSetBytes <= c.SizeBytes {
+			return c
+		}
+	}
+	return p.Caches[len(p.Caches)-1]
+}
+
+// MemTime returns the time to stream trafficBytes with a working set of
+// workingSetBytes: traffic is served at the bandwidth of the cache level
+// the working set fits in. strideEfficiency in (0, 1] derates bandwidth
+// for non-unit-stride access (1 = perfectly streaming).
+func (p *Platform) MemTime(trafficBytes, workingSetBytes, strideEfficiency float64) float64 {
+	if strideEfficiency <= 0 {
+		strideEfficiency = 1e-3
+	}
+	if strideEfficiency > 1 {
+		strideEfficiency = 1
+	}
+	lvl := p.LevelFor(workingSetBytes)
+	return trafficBytes / (lvl.BytesPerSec * strideEfficiency)
+}
+
+// ComputeTime returns the time to execute flops floating-point operations
+// at efficiency eff in (0, 1] of single-core peak.
+func (p *Platform) ComputeTime(flops, eff float64) float64 {
+	if eff <= 0 {
+		eff = 1e-3
+	}
+	if eff > 1 {
+		eff = 1
+	}
+	return flops / (p.PeakFlops() * eff)
+}
+
+// ILPEfficiency models how loop unrolling affects pipeline utilisation:
+// efficiency grows with the unroll product toward 1 (more independent
+// work per iteration hides latency) but collapses once the unrolled body
+// needs more than the architectural register count (spill traffic).
+//
+// unroll is the product of unroll factors applied to the loop nest;
+// liveValues is an estimate of simultaneously-live scalar values per
+// unrolled iteration.
+func (p *Platform) ILPEfficiency(unroll, liveValues float64) float64 {
+	if unroll < 1 {
+		unroll = 1
+	}
+	// Diminishing returns toward the issue width: eff in [base, 1).
+	base := 0.35
+	gain := 1 - math.Exp(-unroll/float64(p.IssueWidth))
+	eff := base + (1-base)*gain
+	// Register pressure: exceeding the register file costs dearly.
+	pressure := liveValues * unroll
+	if regs := float64(p.Registers); pressure > regs {
+		over := pressure / regs
+		eff /= 1 + 0.8*(over-1)
+	}
+	if eff > 1 {
+		eff = 1
+	}
+	return eff
+}
+
+// VectorSpeedup models the gain from enabling vectorization: a fraction
+// vecFraction of the work runs at the SIMD width, derated by overhead.
+// With vecFraction = 0 it returns 1 (no change).
+func (p *Platform) VectorSpeedup(vecFraction float64) float64 {
+	if vecFraction <= 0 {
+		return 1
+	}
+	if vecFraction > 1 {
+		vecFraction = 1
+	}
+	lanes := float64(p.VectorLanes)
+	// Amdahl over the vectorizable fraction with 85% SIMD efficiency.
+	s := 1 / ((1 - vecFraction) + vecFraction/(lanes*0.85))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,166 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlatformTableIV(t *testing.T) {
+	a, b := PlatformA(), PlatformB()
+	if a.CPU != "E5-2680 v3" || a.Cores != 24 || a.FreqHz != 2.5e9 || a.MemoryBytes != 64e9 {
+		t.Fatalf("Platform A spec mismatch: %+v", a)
+	}
+	if b.CPU != "E5-2680 v4" || b.Cores != 28 || b.FreqHz != 2.4e9 || b.MemoryBytes != 128e9 {
+		t.Fatalf("Platform B spec mismatch: %+v", b)
+	}
+	if b.Net.BetaBytesPerSec <= 0 || b.Net.AlphaSec <= 0 {
+		t.Fatal("Platform B missing 100Gbps OPA network")
+	}
+	if a.Net.BetaBytesPerSec != 0 {
+		t.Fatal("Platform A should have no network (Table IV dash)")
+	}
+}
+
+func TestCacheHierarchyOrdered(t *testing.T) {
+	for _, p := range []*Platform{PlatformA(), PlatformB()} {
+		for i := 1; i < len(p.Caches); i++ {
+			prev, cur := p.Caches[i-1], p.Caches[i]
+			if cur.SizeBytes <= prev.SizeBytes {
+				t.Fatalf("%s: cache %s not larger than %s", p.Name, cur.Name, prev.Name)
+			}
+			if cur.BytesPerSec >= prev.BytesPerSec {
+				t.Fatalf("%s: cache %s not slower than %s", p.Name, cur.Name, prev.Name)
+			}
+			if cur.LatencySec <= prev.LatencySec {
+				t.Fatalf("%s: cache %s latency not larger than %s", p.Name, cur.Name, prev.Name)
+			}
+		}
+		last := p.Caches[len(p.Caches)-1]
+		if !math.IsInf(last.SizeBytes, 1) {
+			t.Fatalf("%s: last level must be DRAM with infinite capacity", p.Name)
+		}
+	}
+}
+
+func TestLevelFor(t *testing.T) {
+	p := PlatformA()
+	if got := p.LevelFor(16 << 10); got.Name != "L1" {
+		t.Fatalf("16KB -> %s", got.Name)
+	}
+	if got := p.LevelFor(100 << 10); got.Name != "L2" {
+		t.Fatalf("100KB -> %s", got.Name)
+	}
+	if got := p.LevelFor(10 << 20); got.Name != "L3" {
+		t.Fatalf("10MB -> %s", got.Name)
+	}
+	if got := p.LevelFor(1 << 30); got.Name != "DRAM" {
+		t.Fatalf("1GB -> %s", got.Name)
+	}
+}
+
+func TestMemTimeCapacityCliff(t *testing.T) {
+	// The same traffic is slower when the working set spills to DRAM.
+	p := PlatformA()
+	inCache := p.MemTime(1e6, 16<<10, 1)
+	inDRAM := p.MemTime(1e6, 1<<30, 1)
+	if inDRAM <= inCache*5 {
+		t.Fatalf("no capacity cliff: cache %v vs dram %v", inCache, inDRAM)
+	}
+}
+
+func TestMemTimeStridePenalty(t *testing.T) {
+	p := PlatformA()
+	good := p.MemTime(1e6, 1<<30, 1)
+	bad := p.MemTime(1e6, 1<<30, 0.1)
+	if math.Abs(bad/good-10) > 1e-9 {
+		t.Fatalf("stride derating wrong: %v vs %v", bad, good)
+	}
+	// Degenerate efficiencies are clamped, not divide-by-zero.
+	if v := p.MemTime(1e6, 1, 0); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("zero stride efficiency gave %v", v)
+	}
+	if v1, v2 := p.MemTime(1e6, 1, 2), p.MemTime(1e6, 1, 1); v1 != v2 {
+		t.Fatal("efficiency > 1 not clamped")
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	p := PlatformA()
+	// 5 Gflop at peak 5 Gflop/s and eff 1 is one second.
+	if got := p.ComputeTime(p.PeakFlops(), 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ComputeTime = %v", got)
+	}
+	if p.ComputeTime(1e9, 0.5) <= p.ComputeTime(1e9, 1) {
+		t.Fatal("lower efficiency not slower")
+	}
+	if v := p.ComputeTime(1e9, 0); math.IsInf(v, 0) {
+		t.Fatal("zero efficiency not clamped")
+	}
+}
+
+func TestILPEfficiencyRises(t *testing.T) {
+	p := PlatformA()
+	e1 := p.ILPEfficiency(1, 2)
+	e4 := p.ILPEfficiency(4, 2)
+	if e4 <= e1 {
+		t.Fatalf("unrolling did not help: %v vs %v", e1, e4)
+	}
+	if e4 > 1 {
+		t.Fatalf("efficiency above 1: %v", e4)
+	}
+}
+
+func TestILPEfficiencyRegisterWall(t *testing.T) {
+	p := PlatformA()
+	// Live values*unroll far beyond the 16 registers should crush
+	// efficiency below the modest-unroll case.
+	mid := p.ILPEfficiency(4, 3)   // pressure 12 < 16
+	over := p.ILPEfficiency(32, 3) // pressure 96 >> 16
+	if over >= mid {
+		t.Fatalf("no register-pressure wall: %v vs %v", mid, over)
+	}
+}
+
+func TestILPEfficiencyClampsUnroll(t *testing.T) {
+	p := PlatformA()
+	if p.ILPEfficiency(0, 1) != p.ILPEfficiency(1, 1) {
+		t.Fatal("unroll < 1 not clamped")
+	}
+}
+
+func TestVectorSpeedup(t *testing.T) {
+	p := PlatformA()
+	if got := p.VectorSpeedup(0); got != 1 {
+		t.Fatalf("no-vec speedup = %v", got)
+	}
+	s := p.VectorSpeedup(1)
+	if s <= 2 || s > 4 {
+		t.Fatalf("full-vec speedup = %v, want in (2, 4]", s)
+	}
+	if p.VectorSpeedup(0.5) >= s {
+		t.Fatal("partial vectorization not slower than full")
+	}
+	if p.VectorSpeedup(2) != s {
+		t.Fatal("fraction > 1 not clamped")
+	}
+	if p.VectorSpeedup(0.3) < 1 {
+		t.Fatal("speedup below 1")
+	}
+}
+
+func TestMessageTime(t *testing.T) {
+	n := Network{AlphaSec: 1e-6, BetaBytesPerSec: 1e9}
+	if got := n.MessageTime(0); got != 1e-6 {
+		t.Fatalf("empty message = %v", got)
+	}
+	if got := n.MessageTime(1e9); math.Abs(got-(1e-6+1)) > 1e-12 {
+		t.Fatalf("1GB message = %v", got)
+	}
+}
+
+func TestPeakFlops(t *testing.T) {
+	p := PlatformA()
+	if got := p.PeakFlops(); got != 5e9 {
+		t.Fatalf("PeakFlops = %v", got)
+	}
+}

@@ -1,0 +1,239 @@
+// Package report turns the CSV artifacts written by cmd/figures into a
+// compact Markdown results summary — the generated half of
+// EXPERIMENTS.md. It reads only the long-form "series,x,y" CSVs, so it
+// works on any output directory regardless of the scale that produced
+// it.
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is one named (x, y) sequence parsed from a figure CSV.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// ReadCSV parses a long-form "series,x,y" CSV into named series, in
+// first-appearance order.
+func ReadCSV(r io.Reader) ([]Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("report: empty CSV")
+	}
+	if got := sc.Text(); got != "series,x,y" {
+		return nil, fmt.Errorf("report: unexpected header %q", got)
+	}
+	index := map[string]int{}
+	var out []Series
+	line := 1
+	for sc.Scan() {
+		line++
+		parts := strings.Split(sc.Text(), ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("report: line %d has %d fields", line, len(parts))
+		}
+		x, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("report: line %d x: %v", line, err)
+		}
+		y, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("report: line %d y: %v", line, err)
+		}
+		i, ok := index[parts[0]]
+		if !ok {
+			i = len(out)
+			index[parts[0]] = i
+			out = append(out, Series{Name: parts[0]})
+		}
+		out[i].X = append(out[i].X, x)
+		out[i].Y = append(out[i].Y, y)
+	}
+	return out, sc.Err()
+}
+
+// Final returns the y value at the largest x of the series.
+func (s Series) Final() float64 {
+	best := math.Inf(-1)
+	val := math.NaN()
+	for i := range s.X {
+		if s.X[i] >= best {
+			best = s.X[i]
+			val = s.Y[i]
+		}
+	}
+	return val
+}
+
+// Generate walks dir for the cmd/figures artifacts and writes a Markdown
+// summary: per-kernel final RMSE per strategy (fig2), application RMSE
+// (fig4), the Fig. 7 speedup table, and the Fig. 8 tuning endpoint.
+func Generate(dir string, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "## Measured results (artifacts in %s)\n\n", dir)
+
+	// --- Fig. 2: kernel learning-curve endpoints.
+	fig2, err := filepath.Glob(filepath.Join(dir, "fig2_*.csv"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(fig2)
+	if len(fig2) > 0 {
+		fmt.Fprintln(bw, "### Kernels — final RMSE@α by strategy (Fig. 2)")
+		fmt.Fprintln(bw)
+		var strategies []string
+		rows := map[string]map[string]float64{}
+		var kernels []string
+		for _, path := range fig2 {
+			kernel := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "fig2_"), ".csv")
+			series, err := readFile(path)
+			if err != nil {
+				return err
+			}
+			rows[kernel] = map[string]float64{}
+			for _, s := range series {
+				rows[kernel][s.Name] = s.Final()
+				if !contains(strategies, s.Name) {
+					strategies = append(strategies, s.Name)
+				}
+			}
+			kernels = append(kernels, kernel)
+		}
+		fmt.Fprintf(bw, "| kernel | %s | PWU wins |\n", strings.Join(strategies, " | "))
+		fmt.Fprintf(bw, "|---|%s---|\n", strings.Repeat("---|", len(strategies)))
+		pwuWins := 0
+		for _, kernel := range kernels {
+			var cells []string
+			best := math.Inf(1)
+			bestName := ""
+			for _, st := range strategies {
+				v := rows[kernel][st]
+				cells = append(cells, fmt.Sprintf("%.4g", v))
+				if v < best {
+					best = v
+					bestName = st
+				}
+			}
+			win := ""
+			if bestName == "PWU" {
+				win = "yes"
+				pwuWins++
+			}
+			fmt.Fprintf(bw, "| %s | %s | %s |\n", kernel, strings.Join(cells, " | "), win)
+		}
+		fmt.Fprintf(bw, "\nPWU has the lowest final RMSE on %d of %d kernels.\n\n", pwuWins, len(kernels))
+	}
+
+	// --- Fig. 4: application endpoints.
+	fig4, _ := filepath.Glob(filepath.Join(dir, "fig4_*_rmse.csv"))
+	sort.Strings(fig4)
+	if len(fig4) > 0 {
+		fmt.Fprintln(bw, "### Applications — final RMSE@α by strategy (Fig. 4)")
+		fmt.Fprintln(bw)
+		for _, path := range fig4 {
+			app := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "fig4_"), "_rmse.csv")
+			series, err := readFile(path)
+			if err != nil {
+				return err
+			}
+			var cells []string
+			for _, s := range series {
+				cells = append(cells, fmt.Sprintf("%s %.4g", s.Name, s.Final()))
+			}
+			fmt.Fprintf(bw, "- **%s**: %s\n", app, strings.Join(cells, ", "))
+		}
+		fmt.Fprintln(bw)
+	}
+
+	// --- Fig. 7: speedups.
+	if f, err := os.Open(filepath.Join(dir, "fig7_speedup.csv")); err == nil {
+		defer f.Close()
+		fmt.Fprintln(bw, "### Cost speedup of PWU over PBUS (Fig. 7)")
+		fmt.Fprintln(bw)
+		fmt.Fprintln(bw, "| benchmark | speedup | shared RMSE target |")
+		fmt.Fprintln(bw, "|---|---|---|")
+		sc := bufio.NewScanner(f)
+		sc.Scan() // header
+		var speedups []float64
+		for sc.Scan() {
+			parts := strings.Split(sc.Text(), ",")
+			if len(parts) != 3 {
+				continue
+			}
+			fmt.Fprintf(bw, "| %s | %s | %s |\n", parts[0], parts[1], parts[2])
+			if v, err := strconv.ParseFloat(parts[1], 64); err == nil {
+				speedups = append(speedups, v)
+			}
+		}
+		if len(speedups) > 0 {
+			fmt.Fprintf(bw, "\nGeometric-mean speedup %.2fx, max %.1fx over %d benchmarks with a reachable shared target.\n\n",
+				geomean(speedups), maxOf(speedups), len(speedups))
+		}
+	}
+
+	// --- Fig. 8: tuning endpoints.
+	if series, err := readFile(filepath.Join(dir, "fig8_tuning.csv")); err == nil {
+		fmt.Fprintln(bw, "### Surrogate vs direct tuning (Fig. 8)")
+		fmt.Fprintln(bw)
+		for _, s := range series {
+			fmt.Fprintf(bw, "- %s: best true time found %.5g s\n", s.Name, s.Final())
+		}
+		fmt.Fprintln(bw)
+	}
+
+	return bw.Flush()
+}
+
+func readFile(path string) ([]Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func geomean(xs []float64) float64 {
+	acc := 0.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			acc += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(acc / float64(n))
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	in := "series,x,y\nPWU,10,0.5\nPWU,20,0.3\nPBUS,10,0.6\n"
+	series, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].Name != "PWU" || series[1].Name != "PBUS" {
+		t.Fatalf("series = %+v", series)
+	}
+	if len(series[0].X) != 2 || series[0].Y[1] != 0.3 {
+		t.Fatalf("PWU series = %+v", series[0])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header,here\n",
+		"series,x,y\nonly,two\n",
+		"series,x,y\nA,notnum,1\n",
+		"series,x,y\nA,1,notnum\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFinal(t *testing.T) {
+	s := Series{X: []float64{30, 10, 20}, Y: []float64{3, 1, 2}}
+	if got := s.Final(); got != 3 {
+		t.Fatalf("Final = %v", got)
+	}
+	if !math.IsNaN((Series{}).Final()) {
+		t.Fatal("empty Final should be NaN")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("fig2_atax.csv", "series,x,y\nPWU,10,0.5\nPWU,160,0.1\nPBUS,10,0.6\nPBUS,160,0.4\n")
+	write("fig2_mm.csv", "series,x,y\nPWU,160,2.0\nPBUS,160,1.0\n")
+	write("fig4_kripke_rmse.csv", "series,x,y\nPWU,300,1.5\nRandom,300,2.5\n")
+	write("fig7_speedup.csv", "benchmark,speedup,target\natax,4.0,0.2\nmm,unreached,\n")
+	write("fig8_tuning.csv", "series,x,y\nground truth,80,0.027\nsurrogate model,80,0.027\n")
+
+	var buf bytes.Buffer
+	if err := Generate(dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Kernels", "| atax | 0.1 | 0.4 | yes |", "PWU has the lowest final RMSE on 1 of 2 kernels",
+		"kripke", "PWU 1.5",
+		"| atax | 4.0 | 0.2 |",
+		"Geometric-mean speedup 4.00x",
+		"ground truth: best true time found 0.027",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateEmptyDir(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Generate(t.TempDir(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Measured results") {
+		t.Fatal("empty report missing header")
+	}
+}

@@ -1,0 +1,196 @@
+// Package search provides heuristic optimisers over a parameter space —
+// the consumers an empirical performance model exists for. The paper's
+// abstract frames EPM as the enabler of "efficient heuristic methods to
+// find sub-optimal parameter configurations": once the surrogate is
+// built, these searchers can afford tens of thousands of (free) model
+// evaluations where direct search could afford only dozens of real runs.
+//
+// Three searchers are provided, all minimising a black-box objective
+// over a space.Space:
+//
+//   - RandomSearch: uniform sampling, the canonical baseline.
+//   - HillClimb: restarted steepest-descent over level neighbourhoods
+//     (each neighbour changes one parameter by one level).
+//   - Anneal: simulated annealing with geometric cooling, randomly
+//     mutating one parameter per step.
+//
+// All searchers respect an evaluation budget and are deterministic given
+// the caller's generator.
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// Objective evaluates a configuration; searchers minimise it. With a
+// surrogate model, this is typically model.Predict ∘ space.Encode.
+type Objective func(c space.Config) float64
+
+// Result is a completed search.
+type Result struct {
+	// Best is the best configuration found and BestValue its objective.
+	Best      space.Config
+	BestValue float64
+
+	// Evaluations counts objective calls consumed.
+	Evaluations int
+
+	// Trace records the best-so-far value after each evaluation, for
+	// convergence plots.
+	Trace []float64
+}
+
+// track folds an evaluation into the running result.
+func (res *Result) track(c space.Config, v float64) {
+	res.Evaluations++
+	if res.Best == nil || v < res.BestValue {
+		res.Best = c.Clone()
+		res.BestValue = v
+	}
+	res.Trace = append(res.Trace, res.BestValue)
+}
+
+// RandomSearch evaluates budget uniform samples.
+func RandomSearch(sp *space.Space, obj Objective, budget int, r *rng.RNG) (*Result, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("search: budget %d", budget)
+	}
+	res := &Result{}
+	for i := 0; i < budget; i++ {
+		c := sp.SampleConfig(r)
+		res.track(c, obj(c))
+	}
+	return res, nil
+}
+
+// neighbors enumerates the one-level moves from c: for every parameter,
+// the level above and below (when they exist).
+func neighbors(sp *space.Space, c space.Config) []space.Config {
+	var out []space.Config
+	for i := 0; i < sp.NumParams(); i++ {
+		for _, d := range []int{-1, 1} {
+			l := c[i] + d
+			if l < 0 || l >= sp.Param(i).NumLevels() {
+				continue
+			}
+			n := c.Clone()
+			n[i] = l
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// HillClimb runs steepest-descent from random restarts until the budget
+// is exhausted. Each step evaluates the full one-level neighbourhood and
+// moves to the best neighbour; a local minimum triggers a restart.
+func HillClimb(sp *space.Space, obj Objective, budget int, r *rng.RNG) (*Result, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("search: budget %d", budget)
+	}
+	res := &Result{}
+	for res.Evaluations < budget {
+		cur := sp.SampleConfig(r)
+		curV := obj(cur)
+		res.track(cur, curV)
+		for res.Evaluations < budget {
+			bestN := space.Config(nil)
+			bestV := curV
+			for _, n := range neighbors(sp, cur) {
+				if res.Evaluations >= budget {
+					break
+				}
+				v := obj(n)
+				res.track(n, v)
+				if v < bestV {
+					bestN, bestV = n, v
+				}
+			}
+			if bestN == nil {
+				break // local minimum: restart
+			}
+			cur, curV = bestN, bestV
+		}
+	}
+	return res, nil
+}
+
+// AnnealConfig tunes the simulated-annealing schedule. Zero values get
+// sensible defaults: initial temperature equal to a tenth of the first
+// sample's objective and a cooling factor spreading the schedule over
+// the budget.
+type AnnealConfig struct {
+	// Temp0 is the initial temperature in objective units.
+	Temp0 float64
+
+	// Cooling is the per-step geometric cooling factor in (0, 1).
+	Cooling float64
+}
+
+// Anneal runs simulated annealing for exactly budget objective
+// evaluations, mutating one uniformly chosen parameter to a uniformly
+// chosen level per step and accepting worse moves with the Metropolis
+// probability exp(-Δ/T).
+func Anneal(sp *space.Space, obj Objective, budget int, cfg AnnealConfig, r *rng.RNG) (*Result, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("search: budget %d", budget)
+	}
+	res := &Result{}
+	cur := sp.SampleConfig(r)
+	curV := obj(cur)
+	res.track(cur, curV)
+
+	temp := cfg.Temp0
+	if temp <= 0 {
+		temp = math.Abs(curV) * 0.1
+		if temp == 0 {
+			temp = 1
+		}
+	}
+	cooling := cfg.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		// Aim to decay temperature by ~1e3 over the budget.
+		cooling = math.Pow(1e-3, 1/math.Max(1, float64(budget-1)))
+	}
+
+	for res.Evaluations < budget {
+		n := cur.Clone()
+		i := r.Intn(sp.NumParams())
+		levels := sp.Param(i).NumLevels()
+		if levels > 1 {
+			l := r.Intn(levels - 1)
+			if l >= n[i] {
+				l++ // uniform over levels != current
+			}
+			n[i] = l
+		}
+		v := obj(n)
+		res.track(n, v)
+		if v <= curV || r.Float64() < math.Exp(-(v-curV)/temp) {
+			cur, curV = n, v
+		}
+		temp *= cooling
+	}
+	return res, nil
+}
+
+// ByName returns the named searcher as a uniform closure signature.
+// Recognised names: "random", "hill", "anneal".
+func ByName(name string) (func(sp *space.Space, obj Objective, budget int, r *rng.RNG) (*Result, error), error) {
+	switch name {
+	case "random":
+		return RandomSearch, nil
+	case "hill":
+		return HillClimb, nil
+	case "anneal":
+		return func(sp *space.Space, obj Objective, budget int, r *rng.RNG) (*Result, error) {
+			return Anneal(sp, obj, budget, AnnealConfig{}, r)
+		}, nil
+	default:
+		return nil, fmt.Errorf("search: unknown searcher %q (have random, hill, anneal)", name)
+	}
+}

@@ -1,0 +1,62 @@
+package space
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonParameter is the wire form of a Parameter.
+type jsonParameter struct {
+	Name   string    `json:"name"`
+	Kind   string    `json:"kind"`
+	Levels []float64 `json:"levels,omitempty"`
+	Names  []string  `json:"names,omitempty"`
+}
+
+// jsonSpace is the wire form of a Space.
+type jsonSpace struct {
+	Params []jsonParameter `json:"params"`
+}
+
+// MarshalJSON encodes the space as a stable, human-editable document.
+func (s *Space) MarshalJSON() ([]byte, error) {
+	doc := jsonSpace{Params: make([]jsonParameter, len(s.params))}
+	for i, p := range s.params {
+		doc.Params[i] = jsonParameter{
+			Name:   p.Name,
+			Kind:   p.Kind.String(),
+			Levels: p.Levels,
+			Names:  p.Names,
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes and validates a space document.
+func (s *Space) UnmarshalJSON(data []byte) error {
+	var doc jsonSpace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	params := make([]Parameter, len(doc.Params))
+	for i, jp := range doc.Params {
+		var kind Kind
+		switch jp.Kind {
+		case "numeric":
+			kind = Numeric
+		case "categorical":
+			kind = Categorical
+		case "boolean":
+			kind = Boolean
+		default:
+			return fmt.Errorf("space: unknown kind %q for parameter %q", jp.Kind, jp.Name)
+		}
+		params[i] = Parameter{Name: jp.Name, Kind: kind, Levels: jp.Levels, Names: jp.Names}
+	}
+	ns, err := New(params...)
+	if err != nil {
+		return err
+	}
+	*s = *ns
+	return nil
+}

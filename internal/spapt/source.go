@@ -1,0 +1,86 @@
+package spapt
+
+// sources holds the main computation code of each kernel, in the style
+// of the paper's Listing 1 (which shows ADI). These are the untransformed
+// reference loops the cost models describe; cmd/kernels -source prints
+// them.
+var sources = map[string]string{
+	"adi": `for (i1 = 0; i1 <= N-1; i1++)
+  for (i2 = 1; i2 <= N-1; i2++) {
+    X[i1][i2] = X[i1][i2] - X[i1][i2-1] * A[i1][i2] / B[i1][i2-1];
+    B[i1][i2] = B[i1][i2] - A[i1][i2] * A[i1][i2] / B[i1][i2-1];
+  }`,
+	"atax": `for (i = 0; i < N; i++) {
+  tmp[i] = 0;
+  for (j = 0; j < N; j++)
+    tmp[i] += A[i][j] * x[j];
+}
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    y[j] += A[i][j] * tmp[i];`,
+	"bicgkernel": `for (i = 0; i < N; i++) {
+  for (j = 0; j < N; j++) {
+    s[j] += r[i] * A[i][j];
+    q[i] += A[i][j] * p[j];
+  }
+}`,
+	"correlation": `for (j1 = 0; j1 < M-1; j1++)
+  for (j2 = j1+1; j2 < M; j2++) {
+    symmat[j1][j2] = 0.0;
+    for (i = 0; i < N; i++)
+      symmat[j1][j2] += data[i][j1] * data[i][j2];
+    symmat[j2][j1] = symmat[j1][j2];
+  }`,
+	"dgemv3": `for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++) {
+    y1[i] += A[i][j] * x1[j];
+    y2[i] += B[i][j] * x2[j];
+    y3[i] += C[i][j] * x3[j];
+  }`,
+	"gemver": `for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    B[i][j] = A[i][j] + u1[i]*v1[j] + u2[i]*v2[j];
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    x[i] += beta * B[j][i] * y[j];`,
+	"gesummv": `for (i = 0; i < N; i++) {
+  tmp[i] = 0; y[i] = 0;
+  for (j = 0; j < N; j++) {
+    tmp[i] += A[i][j] * x[j];
+    y[i]   += B[i][j] * x[j];
+  }
+  y[i] = alpha * tmp[i] + beta * y[i];
+}`,
+	"hessian": `for (i = 1; i < N-1; i++)
+  for (j = 1; j < N-1; j++) {
+    Hxx[i][j] = img[i][j+1] - 2*img[i][j] + img[i][j-1];
+    Hyy[i][j] = img[i+1][j] - 2*img[i][j] + img[i-1][j];
+    Hxy[i][j] = (img[i+1][j+1] - img[i+1][j-1]
+               - img[i-1][j+1] + img[i-1][j-1]) / 4;
+  }`,
+	"jacobi": `for (i = 1; i < N-1; i++)
+  for (j = 1; j < N-1; j++)
+    B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][j+1]
+                   + A[i-1][j] + A[i+1][j]);`,
+	"lu": `for (k = 0; k < N; k++) {
+  for (j = k+1; j < N; j++)
+    A[k][j] = A[k][j] / A[k][k];
+  for (i = k+1; i < N; i++)
+    for (j = k+1; j < N; j++)
+      A[i][j] = A[i][j] - A[i][k] * A[k][j];
+}`,
+	"mm": `for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    for (k = 0; k < N; k++)
+      C[i][j] += A[i][k] * B[k][j];`,
+	"mvt": `for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    x1[i] += A[i][j] * y1[j];
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    x2[i] += A[j][i] * y2[j];`,
+}
+
+// Source returns the kernel's reference computation code (Listing 1
+// style), or an empty string if unavailable.
+func (k *Kernel) Source() string { return sources[k.spec.name] }

@@ -1,0 +1,285 @@
+// Package stats provides the small set of descriptive statistics the rest
+// of the repository needs: streaming moments, quantiles, rankings and
+// correlation coefficients.
+//
+// All functions treat their inputs as plain float64 slices; none of them
+// mutate the caller's data unless explicitly documented.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance (divide by n) of xs, or NaN
+// for an empty slice. The population form matches how random-forest
+// prediction spread is defined in Hutter et al. 2014.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	acc := 0.0
+	for _, x := range xs {
+		d := x - m
+		acc += d * d
+	}
+	return acc / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance (divide by n-1).
+// It returns 0 for slices with fewer than two elements.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	acc := 0.0
+	for _, x := range xs {
+		d := x - m
+		acc += d * d
+	}
+	return acc / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the smallest element of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (the same convention as numpy's
+// default). It returns NaN for an empty slice and panics if q is outside
+// [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile on already-sorted data.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Ranks returns the 1-based fractional ranks of xs (average rank for
+// ties), as used by the Spearman correlation.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// ArgSort returns the indices that would sort xs ascending. Ties keep
+// their original relative order (stable).
+func ArgSort(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}
+
+// Pearson returns the Pearson correlation coefficient of (xs, ys). It
+// panics if the lengths differ and returns NaN if either series is
+// constant or empty.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson length mismatch")
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of (xs, ys).
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// Welford is a streaming accumulator of count, mean and variance using
+// Welford's numerically stable recurrence. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean, or NaN before any observation.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the running population variance, or NaN before any
+// observation.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Merge folds another accumulator into w (parallel variance merge,
+// Chan et al.). Useful when per-goroutine accumulators are combined.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// Histogram counts xs into nbins equal-width bins spanning [lo, hi].
+// Values outside the range are clamped into the first/last bin. It panics
+// if nbins <= 0 or hi <= lo.
+func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	if nbins <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	counts := make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// GeoMean returns the geometric mean of strictly positive xs; it returns
+// NaN if the slice is empty or contains a non-positive value.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	acc := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		acc += math.Log(x)
+	}
+	return math.Exp(acc / float64(len(xs)))
+}

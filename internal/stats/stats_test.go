@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if got := Variance([]float64{2, 2, 2}); got != 0 {
+		t.Fatalf("constant variance = %v", got)
+	}
+	// Population variance of {1,2,3,4} = 1.25.
+	if got := Variance([]float64{1, 2, 3, 4}); !almostEq(got, 1.25, 1e-12) {
+		t.Fatalf("Variance = %v", got)
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	if got := SampleVariance([]float64{1, 2, 3, 4}); !almostEq(got, 5.0/3, 1e-12) {
+		t.Fatalf("SampleVariance = %v", got)
+	}
+	if got := SampleVariance([]float64{7}); got != 0 {
+		t.Fatalf("single-element sample variance = %v", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 || Sum(xs) != 11 {
+		t.Fatalf("min/max/sum = %v %v %v", Min(xs), Max(xs), Sum(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty min/max sentinels wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Median([]float64{5}); got != 5 {
+		t.Fatalf("Median single = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for q>1")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 30, 20})
+	want := []float64{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v", got)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{5, 5, 1})
+	// 1 has rank 1; the two 5s share ranks 2,3 -> 2.5 each.
+	if got[2] != 1 || got[0] != 2.5 || got[1] != 2.5 {
+		t.Fatalf("Ranks with ties = %v", got)
+	}
+}
+
+func TestArgSortStable(t *testing.T) {
+	xs := []float64{2, 1, 2, 0}
+	got := ArgSort(xs)
+	want := []int{3, 1, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ArgSort = %v", got)
+		}
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Fatalf("Pearson = %v", got)
+	}
+}
+
+func TestPearsonConstantNaN(t *testing.T) {
+	if got := Pearson([]float64{1, 1}, []float64{2, 3}); !math.IsNaN(got) {
+		t.Fatalf("Pearson constant = %v", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform gives Spearman exactly 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("Spearman = %v", got)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.Normal(3, 2)
+		w.Add(xs[i])
+	}
+	if !almostEq(w.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("Welford mean %v vs %v", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("Welford variance %v vs %v", w.Variance(), Variance(xs))
+	}
+	if w.N() != 1000 {
+		t.Fatalf("Welford N = %d", w.N())
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	r := rng.New(2)
+	var all, a, b Welford
+	for i := 0; i < 500; i++ {
+		x := r.Float64()
+		all.Add(x)
+		a.Add(x)
+	}
+	for i := 0; i < 700; i++ {
+		x := r.Float64() * 3
+		all.Add(x)
+		b.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != all.N() || !almostEq(a.Mean(), all.Mean(), 1e-9) || !almostEq(a.Variance(), all.Variance(), 1e-9) {
+		t.Fatalf("merge mismatch: %v/%v vs %v/%v", a.Mean(), a.Variance(), all.Mean(), all.Variance())
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(5)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatal("merge with empty broke accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 5 {
+		t.Fatal("merge into empty broke accumulator")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.6, 0.9, -5, 12}
+	h := Histogram(xs, 0, 1, 2)
+	// -5 clamps to bin 0, 12 clamps to bin 1.
+	if h[0] != 3 || h[1] != 3 {
+		t.Fatalf("Histogram = %v", h)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almostEq(got, 10, 1e-9) {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -2})) {
+		t.Fatal("GeoMean with negative should be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Fatal("GeoMean empty should be NaN")
+	}
+}
+
+func TestRanksPropertyPermutationInvariant(t *testing.T) {
+	// Property: ranks of distinct values are a permutation of 1..n.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) * 1.5
+		}
+		r.Shuffle(n, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		ranks := Ranks(xs)
+		seen := make([]bool, n)
+		for _, rk := range ranks {
+			i := int(rk) - 1
+			if float64(i+1) != rk || i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantilePropertyBounds(t *testing.T) {
+	// Property: any quantile lies within [min, max].
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(0, 10)
+		}
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+			v := Quantile(xs, q)
+			if v < Min(xs)-1e-9 || v > Max(xs)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

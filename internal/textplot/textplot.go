@@ -1,0 +1,232 @@
+// Package textplot renders learning curves and scatter plots as ASCII
+// charts and emits the underlying data as CSV, so every figure of the
+// paper can be regenerated and inspected without a plotting stack.
+package textplot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// LinePlot renders the series into a width×height ASCII grid with
+// axis labels. Y may be plotted in log scale with logY (non-positive
+// values are dropped). It returns the rendered plot.
+func LinePlot(title string, series []Series, width, height int, logY bool) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	// Collect bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	ty := func(y float64) float64 {
+		if logY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if logY && y <= 0 {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, ty(y))
+			maxY = math.Max(maxY, ty(y))
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, mark byte) {
+		col := int((x - minX) / (maxX - minX) * float64(width-1))
+		row := int((maxY - y) / (maxY - minY) * float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		grid[row][col] = mark
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		// Draw with linear interpolation between consecutive points so
+		// curves read as lines.
+		type pt struct{ x, y float64 }
+		var pts []pt
+		for i := range s.X {
+			if logY && s.Y[i] <= 0 {
+				continue
+			}
+			pts = append(pts, pt{s.X[i], ty(s.Y[i])})
+		}
+		sort.Slice(pts, func(a, b int) bool { return pts[a].x < pts[b].x })
+		for i := range pts {
+			plot(pts[i].x, pts[i].y, mark)
+			if i > 0 {
+				steps := 2 * width
+				for k := 1; k < steps; k++ {
+					f := float64(k) / float64(steps)
+					plot(pts[i-1].x+f*(pts[i].x-pts[i-1].x), pts[i-1].y+f*(pts[i].y-pts[i-1].y), mark)
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yLabel := func(v float64) string {
+		if logY {
+			return fmt.Sprintf("%9.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r, row := range grid {
+		yv := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%s |%s\n", yLabel(yv), string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*g%*g\n", strings.Repeat(" ", 9), width/2, minX, width-width/2, maxX)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// ScatterPlot renders point clouds (no interpolation); the first series
+// is drawn with '.', later ones with the line markers, so a dense
+// background pool plus highlighted selections reads like Fig. 9.
+func ScatterPlot(title string, series []Series, width, height int) string {
+	if len(series) == 0 {
+		return title + "\n(no data)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := byte('.')
+		if si > 0 {
+			mark = markers[(si-1)%len(markers)]
+		}
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := int((maxY - s.Y[i]) / (maxY - minY) * float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		yv := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%9.3g |%s\n", yv, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*g%*g\n", strings.Repeat(" ", 9), width/2, minX, width-width/2, maxX)
+	var legend []string
+	for si, s := range series {
+		mark := byte('.')
+		if si > 0 {
+			mark = markers[(si-1)%len(markers)]
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", mark, s.Name))
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// WriteCSV emits the series as long-form CSV: series,x,y.
+func WriteCSV(w io.Writer, series []Series) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(bw, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// BarChart renders named values as a horizontal ASCII bar chart.
+func BarChart(title string, names []string, values []float64, width int) string {
+	if len(names) != len(values) {
+		panic("textplot: BarChart length mismatch")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxV := 0.0
+	maxName := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(names[i]) > maxName {
+			maxName = len(names[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for i, v := range values {
+		n := int(v / maxV * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.2f\n", maxName, names[i], strings.Repeat("=", n), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 2, 3}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{3, 2, 1}},
+	}
+}
+
+func TestLinePlotContainsMarkersAndLegend(t *testing.T) {
+	out := LinePlot("test plot", twoSeries(), 40, 10, false)
+	if !strings.Contains(out, "test plot") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing series markers")
+	}
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Fatal("missing legend")
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	out := LinePlot("empty", nil, 40, 10, false)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot = %q", out)
+	}
+}
+
+func TestLinePlotLogScaleDropsNonPositive(t *testing.T) {
+	s := []Series{{Name: "a", X: []float64{0, 1, 2}, Y: []float64{-1, 0, 100}}}
+	out := LinePlot("log", s, 40, 8, true)
+	if !strings.Contains(out, "*") {
+		t.Fatal("positive point not plotted")
+	}
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	s := []Series{{Name: "c", X: []float64{1, 1}, Y: []float64{5, 5}}}
+	out := LinePlot("const", s, 30, 6, false)
+	if !strings.Contains(out, "*") {
+		t.Fatal("constant series not plotted")
+	}
+}
+
+func TestLinePlotMinimumDimensions(t *testing.T) {
+	out := LinePlot("tiny", twoSeries(), 1, 1, false)
+	if out == "" {
+		t.Fatal("no output for tiny dimensions")
+	}
+}
+
+func TestScatterPlot(t *testing.T) {
+	series := []Series{
+		{Name: "pool", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 1, 2}},
+		{Name: "selected", X: []float64{1.5}, Y: []float64{1.5}},
+	}
+	out := ScatterPlot("fig9", series, 40, 10)
+	if !strings.Contains(out, ".") || !strings.Contains(out, "*") {
+		t.Fatalf("scatter missing markers:\n%s", out)
+	}
+	if !strings.Contains(out, ".=pool") || !strings.Contains(out, "*=selected") {
+		t.Fatal("scatter legend wrong")
+	}
+}
+
+func TestScatterPlotEmpty(t *testing.T) {
+	if out := ScatterPlot("e", nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatal("empty scatter should say no data")
+	}
+	empty := []Series{{Name: "x"}}
+	if out := ScatterPlot("e", empty, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatal("series with no points should say no data")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, twoSeries()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "series,x,y" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 7 { // header + 3 + 3
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[1] != "a,0,1" {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("speedups", []string{"adi", "atax"}, []float64{2, 4}, 20)
+	if !strings.Contains(out, "adi") || !strings.Contains(out, "atax") {
+		t.Fatal("missing names")
+	}
+	// atax bar should be twice as long as adi's.
+	var adiLen, ataxLen int
+	for _, line := range strings.Split(out, "\n") {
+		n := strings.Count(line, "=")
+		if strings.HasPrefix(line, "adi") {
+			adiLen = n
+		}
+		if strings.HasPrefix(line, "atax") {
+			ataxLen = n
+		}
+	}
+	if ataxLen != 2*adiLen {
+		t.Fatalf("bar lengths %d vs %d", adiLen, ataxLen)
+	}
+}
+
+func TestBarChartPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BarChart("x", []string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	out := BarChart("z", []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(out, "a") {
+		t.Fatal("zero chart broken")
+	}
+}

@@ -1,0 +1,138 @@
+package transfer
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/noise"
+	"repro/internal/spapt"
+)
+
+// problemOn adapts a SPAPT kernel on an arbitrary platform to
+// bench.Problem.
+type problemOn struct {
+	*spapt.Kernel
+}
+
+func (problemOn) Noise() noise.Model { return noise.Kernel() }
+
+func pair(t *testing.T, name string) (source, target bench.Problem) {
+	t.Helper()
+	k, err := spapt.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return problemOn{k}, problemOn{k.WithPlatform(machine.PlatformC())}
+}
+
+func smallCfg() Config {
+	cfg := Default()
+	cfg.SourceBudget = 120
+	cfg.TargetBudgets = []int{10, 30, 80}
+	cfg.PoolSize, cfg.TestSize = 600, 300
+	cfg.Forest.NumTrees = 32
+	return cfg
+}
+
+func TestSpacesMustMatch(t *testing.T) {
+	src, _ := pair(t, "atax")
+	other, err := bench.ByName("adi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(src, other, smallCfg(), 1); err == nil {
+		t.Fatal("mismatched spaces accepted")
+	}
+}
+
+func TestTransferBeatsColdAtSmallBudgets(t *testing.T) {
+	src, tgt := pair(t, "atax")
+	res, err := Run(src, tgt, smallCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SourcePlatform != "A" || res.TargetPlatform != "C" {
+		t.Fatalf("platforms %s -> %s", res.SourcePlatform, res.TargetPlatform)
+	}
+	// At the smallest budget the stacked model must win clearly.
+	if res.TransferRMSE[0] >= res.ColdRMSE[0] {
+		t.Fatalf("transfer %v not better than cold %v at budget %d",
+			res.TransferRMSE[0], res.ColdRMSE[0], res.Budgets[0])
+	}
+	for i, v := range res.TransferRMSE {
+		if v <= 0 || v != v {
+			t.Fatalf("bad transfer RMSE at %d: %v", i, v)
+		}
+	}
+}
+
+func TestTargetLabelsStillHelp(t *testing.T) {
+	// More target labels should reduce the transfer model's error
+	// compared to zero-shot source-only application.
+	src, tgt := pair(t, "mvt")
+	res, err := Run(src, tgt, smallCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.TransferRMSE) - 1
+	if res.TransferRMSE[last] >= res.SourceOnlyRMSE {
+		t.Fatalf("transfer with %d labels (%v) no better than zero-shot (%v)",
+			res.Budgets[last], res.TransferRMSE[last], res.SourceOnlyRMSE)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	src, tgt := pair(t, "atax")
+	a, err := Run(src, tgt, smallCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(src, tgt, smallCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.ColdRMSE {
+		if a.ColdRMSE[i] != b.ColdRMSE[i] || a.TransferRMSE[i] != b.TransferRMSE[i] {
+			t.Fatal("transfer experiment not deterministic")
+		}
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	src, tgt := pair(t, "atax")
+	cfg := smallCfg()
+	cfg.TargetBudgets = []int{1}
+	if _, err := Run(src, tgt, cfg, 5); err == nil {
+		t.Fatal("degenerate budget accepted")
+	}
+	cfg = smallCfg()
+	cfg.TargetBudgets = []int{100000}
+	if _, err := Run(src, tgt, cfg, 5); err == nil {
+		t.Fatal("oversized budget accepted")
+	}
+}
+
+func TestPlatformsActuallyDiffer(t *testing.T) {
+	// Sanity: the same configuration takes different times on A and C,
+	// else the transfer problem is trivial.
+	k, err := spapt.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc := k.WithPlatform(machine.PlatformC())
+	diff := 0
+	sp := k.Space()
+	for i := 0; i < 20; i++ {
+		c := make([]int, sp.NumParams())
+		for j := range c {
+			c[j] = (i + j) % sp.Param(j).NumLevels()
+		}
+		if k.TrueTime(c) != kc.TrueTime(c) {
+			diff++
+		}
+	}
+	if diff < 15 {
+		t.Fatalf("platforms nearly identical: only %d/20 configs differ", diff)
+	}
+}

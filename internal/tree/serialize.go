@@ -1,0 +1,113 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/space"
+)
+
+// nodeDump is the wire form of a tree node. Leaves omit the split
+// fields; internal nodes always carry both children.
+type nodeDump struct {
+	Feature   int       `json:"f,omitempty"`
+	Threshold float64   `json:"t,omitempty"`
+	CatLeft   []int     `json:"cl,omitempty"` // category indices routed left
+	NumCats   int       `json:"nc,omitempty"` // width of the catLeft bitmap
+	Left      *nodeDump `json:"l,omitempty"`
+	Right     *nodeDump `json:"r,omitempty"`
+
+	Mean     float64 `json:"m"`
+	Variance float64 `json:"v"`
+	Count    int     `json:"n"`
+
+	// Targets carries the leaf's sorted training targets when the tree
+	// was fitted with Config.KeepTargets (quantile support).
+	Targets []float64 `json:"ts,omitempty"`
+}
+
+// treeDump is the wire form of a fitted Regressor (without the feature
+// schema, which the owning forest stores once).
+type treeDump struct {
+	Config Config    `json:"config"`
+	Root   *nodeDump `json:"root"`
+}
+
+func dumpNode(n *node) *nodeDump {
+	d := &nodeDump{Mean: n.mean, Variance: n.variance, Count: n.count}
+	if n.isLeaf() {
+		d.Targets = n.targets
+		return d
+	}
+	d.Feature = n.feature
+	d.Threshold = n.threshold
+	if n.catLeft != nil {
+		d.NumCats = len(n.catLeft)
+		for c, in := range n.catLeft {
+			if in {
+				d.CatLeft = append(d.CatLeft, c)
+			}
+		}
+		if d.CatLeft == nil {
+			d.CatLeft = []int{} // distinguish "categorical, empty" from numeric
+		}
+	}
+	d.Left = dumpNode(n.left)
+	d.Right = dumpNode(n.right)
+	return d
+}
+
+func loadNode(d *nodeDump) (*node, error) {
+	n := &node{mean: d.Mean, variance: d.Variance, count: d.Count}
+	if d.Left == nil && d.Right == nil {
+		n.targets = d.Targets
+		return n, nil
+	}
+	if d.Left == nil || d.Right == nil {
+		return nil, fmt.Errorf("tree: node with exactly one child")
+	}
+	n.feature = d.Feature
+	n.threshold = d.Threshold
+	if d.CatLeft != nil || d.NumCats > 0 {
+		if d.NumCats <= 0 {
+			return nil, fmt.Errorf("tree: categorical node without category count")
+		}
+		n.catLeft = make([]bool, d.NumCats)
+		for _, c := range d.CatLeft {
+			if c < 0 || c >= d.NumCats {
+				return nil, fmt.Errorf("tree: category %d out of bitmap width %d", c, d.NumCats)
+			}
+			n.catLeft[c] = true
+		}
+	}
+	var err error
+	if n.left, err = loadNode(d.Left); err != nil {
+		return nil, err
+	}
+	if n.right, err = loadNode(d.Right); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MarshalJSON encodes the fitted tree structure.
+func (t *Regressor) MarshalJSON() ([]byte, error) {
+	return json.Marshal(treeDump{Config: t.cfg, Root: dumpNode(t.root)})
+}
+
+// UnmarshalJSONWithFeatures decodes a tree serialized by MarshalJSON,
+// reattaching the feature schema (kept by the owning forest).
+func UnmarshalJSONWithFeatures(data []byte, features []space.Feature) (*Regressor, error) {
+	var d treeDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	if d.Root == nil {
+		return nil, fmt.Errorf("tree: dump has no root")
+	}
+	root, err := loadNode(d.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Regressor{features: features, root: root, cfg: d.Config}, nil
+}

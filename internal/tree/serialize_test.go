@@ -1,0 +1,141 @@
+package tree
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+func TestTreeJSONRoundTripNumeric(t *testing.T) {
+	r := rng.New(1)
+	n := 200
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{r.Float64(), r.Float64()}
+		y[i] = X[i][0]*3 + X[i][1]
+	}
+	fs := numFeatures(2)
+	tr, err := Fit(X, y, fs, Config{MinSamplesLeaf: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := UnmarshalJSONWithFeatures(data, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		probe := []float64{r.Float64(), r.Float64()}
+		m1, v1, c1 := tr.PredictWithStats(probe)
+		m2, v2, c2 := tr2.PredictWithStats(probe)
+		if m1 != m2 || v1 != v2 || c1 != c2 {
+			t.Fatal("round trip changed leaf stats")
+		}
+	}
+	if tr.NumNodes() != tr2.NumNodes() || tr.Depth() != tr2.Depth() {
+		t.Fatal("round trip changed structure")
+	}
+}
+
+func TestTreeJSONRoundTripCategorical(t *testing.T) {
+	fs := []space.Feature{{Name: "c", Kind: space.FeatCategorical, NumCategories: 6}}
+	var X [][]float64
+	var y []float64
+	for rep := 0; rep < 4; rep++ {
+		for c := 0; c < 6; c++ {
+			X = append(X, []float64{float64(c)})
+			y = append(y, float64(c%3)*10)
+		}
+	}
+	tr, err := Fit(X, y, fs, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := UnmarshalJSONWithFeatures(data, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 6; c++ {
+		if tr.Predict([]float64{float64(c)}) != tr2.Predict([]float64{float64(c)}) {
+			t.Fatalf("category %d predicts differently after round trip", c)
+		}
+	}
+}
+
+func TestTreeJSONKeepTargets(t *testing.T) {
+	X := [][]float64{{1}, {1}, {2}, {2}}
+	y := []float64{1, 3, 10, 12}
+	tr, err := Fit(X, y, numFeatures(1), Config{KeepTargets: true, MinSamplesLeaf: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := UnmarshalJSONWithFeatures(data, numFeatures(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tr2.LeafTargets([]float64{1})
+	if len(ts) != 2 || ts[0] != 1 || ts[1] != 3 {
+		t.Fatalf("leaf targets lost: %v", ts)
+	}
+	// A tree without KeepTargets round-trips to nil targets.
+	plain, err := Fit(X, y, numFeatures(1), Config{MinSamplesLeaf: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, _ := json.Marshal(plain)
+	plain2, err := UnmarshalJSONWithFeatures(data2, numFeatures(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain2.LeafTargets([]float64{1}) != nil {
+		t.Fatal("targets materialized from nowhere")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	fs := numFeatures(1)
+	cases := []string{
+		``,
+		`{"config":{}}`, // no root
+		`{"config":{},"root":{"m":1,"v":0,"n":1,"l":{"m":1,"v":0,"n":1}}}`,                                               // one child
+		`{"config":{},"root":{"f":0,"cl":[5],"nc":3,"l":{"m":1,"v":0,"n":1},"r":{"m":2,"v":0,"n":1},"m":1,"v":0,"n":2}}`, // category out of range
+		`{"config":{},"root":{"f":0,"cl":[0],"l":{"m":1,"v":0,"n":1},"r":{"m":2,"v":0,"n":1},"m":1,"v":0,"n":2}}`,        // categorical without count
+	}
+	for i, s := range cases {
+		if _, err := UnmarshalJSONWithFeatures([]byte(s), fs); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLeafTargetsRouting(t *testing.T) {
+	// Distinct leaves must return their own target sets.
+	X := [][]float64{{0}, {0}, {10}, {10}}
+	y := []float64{1, 2, 100, 101}
+	tr, err := Fit(X, y, numFeatures(1), Config{KeepTargets: true, MinSamplesLeaf: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := tr.LeafTargets([]float64{0})
+	right := tr.LeafTargets([]float64{10})
+	if len(left) != 2 || left[1] != 2 {
+		t.Fatalf("left leaf targets %v", left)
+	}
+	if len(right) != 2 || right[0] != 100 {
+		t.Fatalf("right leaf targets %v", right)
+	}
+}

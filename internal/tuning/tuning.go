@@ -1,0 +1,188 @@
+// Package tuning implements the paper's Fig. 8 case study: model-based
+// performance tuning with two kinds of annotators.
+//
+// Both tuners run the same loop — fit a random forest to the labeled
+// samples, pick the candidate with the best (smallest) predicted time,
+// label it, repeat — and differ only in the annotator:
+//
+//   - the *true annotator* ("direct tuning") executes the program, i.e.
+//     queries the benchmark's noisy measurement;
+//   - the *surrogate annotator* asks a pre-built surrogate model for its
+//     prediction instead, making thousands of annotations essentially
+//     free.
+//
+// The tracked quantity is the true execution time of the best
+// configuration found so far, as a function of tuning iterations — the
+// two curves of Fig. 8.
+package tuning
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// Annotator labels configurations during tuning.
+type Annotator interface {
+	// Annotate returns the observation used as the label of c.
+	Annotate(c space.Config) float64
+
+	// Name identifies the annotator in figures.
+	Name() string
+}
+
+// TrueAnnotator labels by (noisy) measurement of the benchmark — the
+// ground-truth tuner.
+type TrueAnnotator struct {
+	ev core.Evaluator
+}
+
+// NewTrueAnnotator builds the ground-truth annotator for p, drawing
+// measurement noise from r.
+func NewTrueAnnotator(p bench.Problem, r *rng.RNG) *TrueAnnotator {
+	return &TrueAnnotator{ev: bench.Evaluator(p, r)}
+}
+
+// Annotate implements Annotator.
+func (a *TrueAnnotator) Annotate(c space.Config) float64 { return a.ev.Evaluate(c) }
+
+// Name implements Annotator.
+func (a *TrueAnnotator) Name() string { return "ground truth" }
+
+// Predictor is the slice of the surrogate interface the annotator needs.
+type Predictor interface {
+	Predict(x []float64) float64
+}
+
+// SurrogateAnnotator labels with a fitted surrogate's prediction.
+type SurrogateAnnotator struct {
+	sp    *space.Space
+	model Predictor
+}
+
+// NewSurrogateAnnotator wraps a surrogate model (typically the forest a
+// PWU active-learning run produced) as an annotator.
+func NewSurrogateAnnotator(sp *space.Space, model Predictor) *SurrogateAnnotator {
+	return &SurrogateAnnotator{sp: sp, model: model}
+}
+
+// Annotate implements Annotator.
+func (a *SurrogateAnnotator) Annotate(c space.Config) float64 {
+	return a.model.Predict(a.sp.Encode(c))
+}
+
+// Name implements Annotator.
+func (a *SurrogateAnnotator) Name() string { return "surrogate model" }
+
+// Params configures a tuning run.
+type Params struct {
+	// NInit is the random warm-up size (labeled before the loop).
+	NInit int
+
+	// Iterations is the number of model-guided steps after warm-up.
+	Iterations int
+
+	// Forest configures the tuner's internal model.
+	Forest forest.Config
+}
+
+func (p Params) withDefaults() Params {
+	if p.NInit <= 0 {
+		p.NInit = 10
+	}
+	if p.Iterations <= 0 {
+		p.Iterations = 100
+	}
+	return p
+}
+
+// Trace is the outcome of one tuning run: BestTrue[i] is the true
+// execution time of the best configuration selected up to step i
+// (warm-up counts as step 0).
+type Trace struct {
+	Annotator string
+	BestTrue  []float64
+	BestCfg   space.Config
+}
+
+// Run tunes problem p over the candidate set using the given annotator.
+// The candidates play the role of the paper's pre-sampled test set; the
+// tracked best is always scored with the true model, regardless of the
+// annotator.
+func Run(p bench.Problem, candidates []space.Config, ann Annotator, params Params, r *rng.RNG) (*Trace, error) {
+	pp := params.withDefaults()
+	if len(candidates) <= pp.NInit {
+		return nil, fmt.Errorf("tuning: %d candidates too few for NInit %d", len(candidates), pp.NInit)
+	}
+	sp := p.Space()
+	features := sp.Features()
+	candX := sp.EncodeAll(candidates)
+
+	remaining := make([]int, len(candidates))
+	for i := range remaining {
+		remaining[i] = i
+	}
+
+	var trainX [][]float64
+	var trainY []float64
+	trace := &Trace{Annotator: ann.Name()}
+	bestTrue := math.Inf(1)
+
+	record := func(idx int) {
+		trueT := p.TrueTime(candidates[idx])
+		if trueT < bestTrue {
+			bestTrue = trueT
+			trace.BestCfg = candidates[idx].Clone()
+		}
+	}
+
+	// Warm-up: random labels.
+	init := r.Sample(len(remaining), pp.NInit)
+	taken := map[int]bool{}
+	for _, k := range init {
+		idx := remaining[k]
+		taken[idx] = true
+		trainX = append(trainX, candX[idx])
+		trainY = append(trainY, ann.Annotate(candidates[idx]))
+		record(idx)
+	}
+	remaining = prune(remaining, taken)
+	trace.BestTrue = append(trace.BestTrue, bestTrue)
+
+	for it := 0; it < pp.Iterations && len(remaining) > 0; it++ {
+		model, err := forest.Fit(trainX, trainY, features, pp.Forest, r.Split())
+		if err != nil {
+			return nil, fmt.Errorf("tuning: fit at step %d: %w", it, err)
+		}
+		// Greedy: the best predicted candidate.
+		bestK, bestPred := -1, math.Inf(1)
+		for k, idx := range remaining {
+			if pred := model.Predict(candX[idx]); pred < bestPred {
+				bestPred = pred
+				bestK = k
+			}
+		}
+		idx := remaining[bestK]
+		trainX = append(trainX, candX[idx])
+		trainY = append(trainY, ann.Annotate(candidates[idx]))
+		record(idx)
+		remaining = append(remaining[:bestK], remaining[bestK+1:]...)
+		trace.BestTrue = append(trace.BestTrue, bestTrue)
+	}
+	return trace, nil
+}
+
+func prune(remaining []int, taken map[int]bool) []int {
+	out := remaining[:0]
+	for _, idx := range remaining {
+		if !taken[idx] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
