@@ -1,17 +1,25 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench figures figures-paper report examples clean
+.PHONY: all build check vet test race bench figures figures-paper report examples clean
 
-all: build vet test
+all: build check
 
 build:
 	go build ./...
+
+# check is the pre-commit gate: static analysis plus the full test suite
+# under the race detector (the forest/experiment layers are heavily
+# concurrent).
+check: vet race
 
 vet:
 	go vet ./...
 
 test:
 	go test ./...
+
+race:
+	go test -race ./...
 
 # Full benchmark sweep (every table/figure + ablations at reduced scale).
 bench:

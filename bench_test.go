@@ -582,3 +582,68 @@ func pow(x, e float64) float64 {
 	}
 	return math.Pow(x, e)
 }
+
+// ---- Inference engine (DESIGN.md §7) ----
+
+// inferenceSetup trains a paper-scale surrogate (64 trees on 500 labels
+// of the atax space, §III-D) and encodes a 7000-row scoring pool.
+func inferenceSetup(b *testing.B) (*forest.Forest, [][]float64) {
+	b.Helper()
+	p, err := bench.ByName("atax")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := p.Space()
+	r := rng.New(91)
+	ev := bench.Evaluator(p, r.Split())
+	train := sp.SampleConfigs(r.Split(), 500)
+	X := sp.EncodeAll(train)
+	y := make([]float64, len(train))
+	for i, c := range train {
+		y[i] = ev.Evaluate(c)
+	}
+	f, err := forest.Fit(X, y, sp.Features(), forest.Config{NumTrees: 64}, r.Split())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := sp.EncodeAll(sp.SampleConfigs(r.Split(), 7000))
+	return f, pool
+}
+
+// BenchmarkPredictBatchFlat7000 measures one full pool-scoring pass on
+// the compiled flat-array engine — the per-iteration cost of Algorithm
+// 1's step 3 at paper scale.
+func BenchmarkPredictBatchFlat7000(b *testing.B) {
+	f, pool := inferenceSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictBatch(pool)
+	}
+}
+
+// BenchmarkPredictBatchPointer7000 is the pointer-walking baseline the
+// flat engine is measured against.
+func BenchmarkPredictBatchPointer7000(b *testing.B) {
+	f, pool := inferenceSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictBatchReference(pool)
+	}
+}
+
+// BenchmarkPredictBatchPoolCached7000 measures the steady-state scoring
+// path core.Run actually takes: the pool bound once, per-tree
+// predictions cached, each iteration only aggregating cached values.
+func BenchmarkPredictBatchPoolCached7000(b *testing.B) {
+	f, pool := inferenceSetup(b)
+	rows := make([]int, len(pool))
+	for i := range rows {
+		rows[i] = i
+	}
+	f.BindPool(pool)
+	f.PredictPool(rows[:1]) // force the initial fill out of the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictPool(rows)
+	}
+}

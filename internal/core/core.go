@@ -64,6 +64,24 @@ type Updatable interface {
 	Update(X [][]float64, y []float64, r *rng.RNG) error
 }
 
+// PoolPredictor is an optional Model capability: bind the run's fixed
+// pool matrix once, then score arbitrary subsets of it by pool-row
+// index. Models that implement it (forest.Forest) let Run skip
+// rebuilding the candidate matrix every iteration and reuse cached
+// per-tree predictions — after a partial Update only the refreshed
+// trees' rows are recomputed. Implementations must return exactly the
+// values PredictBatch would return for the same rows.
+type PoolPredictor interface {
+	// BindPool registers the pool feature matrix; it is called before
+	// every PredictPool and must be cheap when the matrix is already
+	// bound.
+	BindPool(poolX [][]float64)
+
+	// PredictPool returns prediction means and uncertainties for the
+	// pool rows with the given indices.
+	PredictPool(rows []int) (mu, sigma []float64)
+}
+
 // Params are Algorithm 1's knobs. The paper's defaults (§III-D) are
 // NInit = 10, NBatch = 1, NMax = 500.
 type Params struct {
@@ -225,18 +243,30 @@ func Run(sp *space.Space, pool []space.Config, ev Evaluator, strat Strategy, par
 			batch = rem
 		}
 
-		candX := make([][]float64, len(remaining))
-		for i, idx := range remaining {
-			candX[i] = poolX[idx]
+		cand := &Candidates{Rand: r}
+		if pp, ok := model.(PoolPredictor); ok {
+			// Cached scoring path: no candidate-matrix rebuild, and
+			// after a warm Update only refreshed trees re-predict.
+			pp.BindPool(poolX)
+			cand.Pool, cand.Rows = poolX, remaining
+			cand.Mu, cand.Sigma = pp.PredictPool(remaining)
+		} else {
+			candX := make([][]float64, len(remaining))
+			for i, idx := range remaining {
+				candX[i] = poolX[idx]
+			}
+			cand.X = candX
+			cand.Mu, cand.Sigma = model.PredictBatch(candX)
 		}
-		mu, sigma := model.PredictBatch(candX)
+		mu, sigma := cand.Mu, cand.Sigma
 		bestY := res.TrainY[0]
 		for _, y := range res.TrainY[1:] {
 			if y < bestY {
 				bestY = y
 			}
 		}
-		sel := strat.Select(&Candidates{X: candX, Mu: mu, Sigma: sigma, BestY: bestY, Rand: r}, batch)
+		cand.BestY = bestY
+		sel := strat.Select(cand, batch)
 		if len(sel) == 0 {
 			return nil, fmt.Errorf("core: strategy %q selected nothing at iteration %d", strat.Name(), iter)
 		}

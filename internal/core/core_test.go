@@ -372,3 +372,80 @@ func TestPoolNotMutated(t *testing.T) {
 		}
 	}
 }
+
+// noPoolModel wraps a forest but exposes only the base Model interface,
+// hiding the PoolPredictor (and Updatable) capabilities. It forces Run
+// onto the candidate-matrix fallback path, the reference for the cached
+// pool-scoring path.
+type noPoolModel struct{ f *forest.Forest }
+
+func (m noPoolModel) Predict(x []float64) float64 { return m.f.Predict(x) }
+func (m noPoolModel) PredictBatch(X [][]float64) (mu, sigma []float64) {
+	return m.f.PredictBatch(X)
+}
+
+// noPoolUpdatable additionally forwards warm updates, so the warm-update
+// loop runs without pool caching.
+type noPoolUpdatable struct{ noPoolModel }
+
+func (m noPoolUpdatable) Update(X [][]float64, y []float64, r *rng.RNG) error {
+	return m.noPoolModel.f.Update(X, y, r)
+}
+
+// TestPoolPredictorPathBitIdentical pins the cached pool-scoring path to
+// the plain PredictBatch path bit for bit, end to end through Algorithm
+// 1: same seed, same strategy, the only difference being whether the
+// model advertises PoolPredictor. Selections (the values the strategy
+// acted on) and labels must match exactly, in both cold-refit and
+// warm-update modes — the latter exercises cache invalidation after
+// partial updates.
+func TestPoolPredictorPathBitIdentical(t *testing.T) {
+	sp, ev := quadSpace(t)
+	pool := sp.SampleConfigs(rng.New(40), 120)
+	run := func(fitter Fitter, warm bool) *Result {
+		t.Helper()
+		res, err := Run(sp, pool, ev, PWU{Alpha: 0.1},
+			Params{NInit: 10, NBatch: 3, NMax: 40, Forest: smallForest(),
+				Fitter: fitter, WarmUpdate: warm, RecordSelections: true},
+			rng.New(41), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	compare := func(mode string, a, b *Result) {
+		t.Helper()
+		if len(a.TrainY) != len(b.TrainY) || len(a.Selections) != len(b.Selections) {
+			t.Fatalf("%s: shapes differ", mode)
+		}
+		for i := range a.TrainY {
+			if a.TrainY[i] != b.TrainY[i] {
+				t.Fatalf("%s: label %d differs: %v vs %v", mode, i, a.TrainY[i], b.TrainY[i])
+			}
+		}
+		for i := range a.Selections {
+			x, y := a.Selections[i], b.Selections[i]
+			if x.Mu != y.Mu || x.Sigma != y.Sigma || x.Y != y.Y {
+				t.Fatalf("%s: selection %d differs: %+v vs %+v", mode, i, x, y)
+			}
+		}
+	}
+
+	coldFitter := func(X [][]float64, y []float64, fs []space.Feature, r *rng.RNG) (Model, error) {
+		f, err := forest.Fit(X, y, fs, smallForest(), r)
+		if err != nil {
+			return nil, err
+		}
+		return noPoolModel{f}, nil
+	}
+	compare("cold", run(nil, false), run(coldFitter, false))
+
+	warmFitter := func(X [][]float64, y []float64, fs []space.Feature, r *rng.RNG) (Model, error) {
+		f, err := forest.Fit(X, y, fs, smallForest(), r)
+		if err != nil {
+			return nil, err
+		}
+		return noPoolUpdatable{noPoolModel{f}}, nil
+	}
+	compare("warm", run(nil, true), run(warmFitter, true))
+}

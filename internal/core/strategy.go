@@ -11,9 +11,21 @@ import (
 // Candidates is what a Strategy sees each iteration: the remaining pool's
 // feature vectors with the current model's beliefs about them. Indices
 // into these slices are "candidate indices"; Select returns them.
+//
+// Feature vectors come in one of two forms: a materialised matrix X, or
+// an indexed view (Pool, Rows) where candidate i is Pool[Rows[i]] — the
+// form core.Run uses on the cached scoring path so the candidate matrix
+// is never rebuilt. Strategies access vectors through XAt, which handles
+// both.
 type Candidates struct {
 	X         [][]float64
 	Mu, Sigma []float64
+
+	// Pool and Rows are the indexed alternative to X: the full pool
+	// matrix and the pool-row index of each candidate. Ignored when X
+	// is set.
+	Pool [][]float64
+	Rows []int
 
 	// BestY is the best (smallest) observed training label so far, the
 	// incumbent that acquisition functions like EI improve upon.
@@ -24,6 +36,14 @@ type Candidates struct {
 
 // Len returns the number of candidates.
 func (c *Candidates) Len() int { return len(c.Mu) }
+
+// XAt returns candidate i's feature vector.
+func (c *Candidates) XAt(i int) []float64 {
+	if c.X != nil {
+		return c.X[i]
+	}
+	return c.Pool[c.Rows[i]]
+}
 
 // Strategy picks the next batch of candidates to evaluate. The returned
 // slice must contain nBatch distinct valid candidate indices (or fewer
@@ -44,9 +64,32 @@ func clampBatch(c *Candidates, nBatch int) int {
 	return nBatch
 }
 
+// sinkNaNs returns scores with every NaN replaced by sink (−Inf for
+// top-k selection, +Inf for bottom-k). A NaN fed to sort's comparator
+// makes it non-transitive and the resulting order undefined — and NaN
+// scores do happen: a degenerate model can produce σ = NaN, and PWU
+// divides by a clamped μ. The input is never mutated; a copy is made
+// only when a NaN is actually present.
+func sinkNaNs(scores []float64, sink float64) []float64 {
+	for i, v := range scores {
+		if math.IsNaN(v) {
+			cp := make([]float64, len(scores))
+			copy(cp, scores)
+			for j := i; j < len(cp); j++ {
+				if math.IsNaN(cp[j]) {
+					cp[j] = sink
+				}
+			}
+			return cp
+		}
+	}
+	return scores
+}
+
 // topKByScore returns the indices of the k largest scores (ties broken by
-// lower index, deterministically).
+// lower index, deterministically; NaN scores rank last).
 func topKByScore(scores []float64, k int) []int {
+	scores = sinkNaNs(scores, math.Inf(-1))
 	idx := make([]int, len(scores))
 	for i := range idx {
 		idx[i] = i
@@ -76,8 +119,9 @@ func xKey(x []float64) string {
 // one configuration whose model belief cannot change until the refit.
 // Duplicates are only used to fill the batch when distinct candidates
 // run out. With nBatch = 1 (the paper's setting) this is identical to
-// topKByScore.
-func topKDistinctByScore(scores []float64, X [][]float64, k int) []int {
+// topKByScore. NaN scores rank last.
+func topKDistinctByScore(scores []float64, c *Candidates, k int) []int {
+	scores = sinkNaNs(scores, math.Inf(-1))
 	idx := make([]int, len(scores))
 	for i := range idx {
 		idx[i] = i
@@ -93,7 +137,7 @@ func topKDistinctByScore(scores []float64, X [][]float64, k int) []int {
 		if len(out) == k {
 			return out
 		}
-		key := xKey(X[i])
+		key := xKey(c.XAt(i))
 		if seen[key] {
 			dups = append(dups, i)
 			continue
@@ -110,8 +154,10 @@ func topKDistinctByScore(scores []float64, X [][]float64, k int) []int {
 	return out
 }
 
-// bottomKByScore returns the indices of the k smallest scores.
+// bottomKByScore returns the indices of the k smallest scores; NaN
+// scores rank last.
 func bottomKByScore(scores []float64, k int) []int {
+	scores = sinkNaNs(scores, math.Inf(1))
 	idx := make([]int, len(scores))
 	for i := range idx {
 		idx[i] = i
@@ -155,7 +201,7 @@ func (p PWU) Select(c *Candidates, nBatch int) []int {
 	for i := range scores {
 		scores[i] = p.Score(c.Mu[i], c.Sigma[i])
 	}
-	return topKDistinctByScore(scores, c.X, nBatch)
+	return topKDistinctByScore(scores, c, nBatch)
 }
 
 // PBUS is the Performance Biased Uncertainty Sampling baseline of
@@ -197,7 +243,7 @@ func (p PBUS) Select(c *Candidates, nBatch int) []int {
 	for _, i := range cand {
 		scores[i] = c.Sigma[i]
 	}
-	return topKDistinctByScore(scores, c.X, nBatch)
+	return topKDistinctByScore(scores, c, nBatch)
 }
 
 // BRS is Biased Random Sampling: uniform among the top TopFrac of
@@ -248,7 +294,7 @@ func (BestPerf) Select(c *Candidates, nBatch int) []int {
 	for i := range scores {
 		scores[i] = -c.Mu[i]
 	}
-	return topKDistinctByScore(scores, c.X, nBatch)
+	return topKDistinctByScore(scores, c, nBatch)
 }
 
 // MaxU evaluates the candidates with the largest uncertainty — the
@@ -260,7 +306,7 @@ func (MaxU) Name() string { return "MaxU" }
 
 // Select implements Strategy.
 func (MaxU) Select(c *Candidates, nBatch int) []int {
-	return topKDistinctByScore(c.Sigma, c.X, clampBatch(c, nBatch))
+	return topKDistinctByScore(c.Sigma, c, clampBatch(c, nBatch))
 }
 
 // Random selects uniformly from the remaining pool — the traditional
@@ -311,7 +357,7 @@ func (e EI) Select(c *Candidates, nBatch int) []int {
 	for i := range scores {
 		scores[i] = e.Score(c.Mu[i], c.Sigma[i], c.BestY)
 	}
-	return topKDistinctByScore(scores, c.X, nBatch)
+	return topKDistinctByScore(scores, c, nBatch)
 }
 
 // normCDF is the standard normal CDF.

@@ -300,3 +300,76 @@ func TestBatchLargerThanPool(t *testing.T) {
 		}
 	}
 }
+
+// ---- NaN score handling ----
+
+func sliceEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTopKNaNScoresRankLast: NaN fed to sort's comparator makes the
+// order undefined; after sinking, NaN-scored candidates must rank last,
+// deterministically, and never displace finite scores.
+func TestTopKNaNScoresRankLast(t *testing.T) {
+	nan := math.NaN()
+	scores := []float64{nan, 5, nan, 3, 8, nan, 1}
+	if got := topKByScore(scores, 3); !sliceEq(got, []int{4, 1, 3}) {
+		t.Fatalf("topK = %v", got)
+	}
+	// Overflow into the NaN region stays index-ordered (stable sort).
+	if got := topKByScore(scores, 6); !sliceEq(got, []int{4, 1, 3, 6, 0, 2}) {
+		t.Fatalf("topK overflow = %v", got)
+	}
+	if got := bottomKByScore(scores, 2); !sliceEq(got, []int{6, 3}) {
+		t.Fatalf("bottomK = %v", got)
+	}
+	if got := bottomKByScore(scores, 6); !sliceEq(got, []int{6, 3, 1, 4, 0, 2}) {
+		t.Fatalf("bottomK overflow = %v", got)
+	}
+	// The caller's slice must not be mutated by the sink.
+	if !math.IsNaN(scores[0]) || !math.IsNaN(scores[2]) || !math.IsNaN(scores[5]) {
+		t.Fatalf("input scores mutated: %v", scores)
+	}
+}
+
+func TestTopKDistinctNaNScoresRankLast(t *testing.T) {
+	nan := math.NaN()
+	scores := []float64{nan, 5, nan, 3, 8, nan, 1}
+	c := mkCandidates(make([]float64, len(scores)), make([]float64, len(scores)), 1)
+	if got := topKDistinctByScore(scores, c, 3); !sliceEq(got, []int{4, 1, 3}) {
+		t.Fatalf("topKDistinct = %v", got)
+	}
+	if got := topKDistinctByScore(scores, c, 6); !sliceEq(got, []int{4, 1, 3, 6, 0, 2}) {
+		t.Fatalf("topKDistinct overflow = %v", got)
+	}
+}
+
+// TestStrategiesDeterministicUnderNaN runs every deterministic strategy
+// on NaN-laced beliefs twice and requires identical selections.
+func TestStrategiesDeterministicUnderNaN(t *testing.T) {
+	nan := math.NaN()
+	mu := []float64{1, nan, 3, 4, nan, 6, 7, 8}
+	sigma := []float64{nan, 1, nan, 2, 1, nan, 2, 1}
+	for _, s := range []Strategy{PWU{Alpha: 0.05}, PBUS{PerfFrac: 0.25}, BestPerf{}, MaxU{}, EI{}} {
+		a := s.Select(mkCandidates(mu, sigma, 9), 4)
+		b := s.Select(mkCandidates(mu, sigma, 9), 4)
+		if !sliceEq(a, b) {
+			t.Fatalf("%s not deterministic under NaN: %v vs %v", s.Name(), a, b)
+		}
+		seen := map[int]bool{}
+		for _, i := range a {
+			if i < 0 || i >= len(mu) || seen[i] {
+				t.Fatalf("%s returned invalid selection %v", s.Name(), a)
+			}
+			seen[i] = true
+		}
+	}
+}

@@ -46,6 +46,10 @@ type Scale struct {
 	// Forest configures the surrogate model.
 	Forest forest.Config
 
+	// Fitter overrides the surrogate model builder; nil means random
+	// forest with the Forest configuration (see core.Params.Fitter).
+	Fitter core.Fitter
+
 	// Workers bounds repetition-level parallelism; <= 0 means
 	// GOMAXPROCS.
 	Workers int
@@ -216,7 +220,7 @@ func runOnce(p bench.Problem, strategyName string, sc Scale, seed uint64) (rmse,
 	}
 
 	ev := bench.Evaluator(p, r.Split())
-	params := core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax, Forest: sc.Forest}
+	params := core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax, Forest: sc.Forest, Fitter: sc.Fitter}
 	if _, err := core.Run(p.Space(), ds.Pool, ev, strat, params, r, obs); err != nil {
 		return nil, nil, err
 	}

@@ -5,6 +5,10 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/rng"
+	"repro/internal/space"
 )
 
 func TestCheckpointSizes(t *testing.T) {
@@ -191,5 +195,78 @@ func TestScalePresetsSane(t *testing.T) {
 	p := Paper()
 	if p.PoolSize != 7000 || p.TestSize != 3000 || p.NInit != 10 || p.NBatch != 1 || p.NMax != 500 || p.Reps != 10 {
 		t.Fatalf("Paper() deviates from §III-D: %+v", p)
+	}
+}
+
+func TestCheckpointSizesEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scale
+		want []int
+	}{
+		{"init equals max", Scale{NInit: 20, NBatch: 5, NMax: 20, EvalEvery: 1}, []int{20}},
+		{"eval every exceeds range", Scale{NInit: 10, NBatch: 1, NMax: 15, EvalEvery: 100}, []int{10, 15}},
+		{"batch overshoots max", Scale{NInit: 10, NBatch: 7, NMax: 20, EvalEvery: 1}, []int{10, 17, 20}},
+		{"zero eval every defaults to one", Scale{NInit: 3, NBatch: 2, NMax: 9, EvalEvery: 0}, []int{3, 5, 7, 9}},
+		{"thinning skips then forces max", Scale{NInit: 10, NBatch: 3, NMax: 20, EvalEvery: 5}, []int{10, 16, 20}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkpointSizes(tc.sc)
+			if len(got) != len(tc.want) {
+				t.Fatalf("checkpoints = %v, want %v", got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("checkpoints = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// noPoolModel hides the forest's PoolPredictor capability so core.Run
+// scores candidates through plain PredictBatch.
+type noPoolModel struct{ f *forest.Forest }
+
+func (m noPoolModel) Predict(x []float64) float64 { return m.f.Predict(x) }
+func (m noPoolModel) PredictBatch(X [][]float64) (mu, sigma []float64) {
+	return m.f.PredictBatch(X)
+}
+
+// TestEngineSwapCurvesIdentical runs the same PWU experiment with the
+// cached pool-scoring engine and with the plain batch engine; the
+// learning curves must be byte-identical, proving the engine swap is
+// invisible to the science.
+func TestEngineSwapCurvesIdentical(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Smoke()
+	base, err := RunStrategy(p, "PWU", sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := sc
+	swapped.Fitter = func(X [][]float64, y []float64, fs []space.Feature, r *rng.RNG) (core.Model, error) {
+		f, err := forest.Fit(X, y, fs, sc.Forest, r)
+		if err != nil {
+			return nil, err
+		}
+		return noPoolModel{f}, nil
+	}
+	alt, err := RunStrategy(p, "PWU", swapped, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.RMSE) != len(alt.RMSE) {
+		t.Fatalf("curve lengths differ: %d vs %d", len(base.RMSE), len(alt.RMSE))
+	}
+	for i := range base.RMSE {
+		if base.RMSE[i] != alt.RMSE[i] || base.CC[i] != alt.CC[i] || base.RMSEStd[i] != alt.RMSEStd[i] {
+			t.Fatalf("checkpoint %d: (%v,%v,%v) vs (%v,%v,%v)", i,
+				base.RMSE[i], base.CC[i], base.RMSEStd[i], alt.RMSE[i], alt.CC[i], alt.RMSEStd[i])
+		}
 	}
 }

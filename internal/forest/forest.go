@@ -80,6 +80,7 @@ func (c Config) workers() int {
 // Forest is a fitted random-forest regressor.
 type Forest struct {
 	trees    []*tree.Regressor
+	compiled []*tree.Compiled // flat inference engines, aligned with trees
 	features []space.Feature
 	cfg      Config
 	oob      float64 // out-of-bag RMSE; NaN if unavailable
@@ -87,6 +88,15 @@ type Forest struct {
 	// nextRefresh is the ensemble rotation position of partial updates
 	// (see Update); it ensures successive updates cycle all trees.
 	nextRefresh int
+
+	// treeGen counts how many times each ensemble slot has been
+	// replaced by Update; the pool-prediction cache compares it against
+	// its own snapshot to recompute only refreshed slots.
+	treeGen []uint64
+
+	// cache holds per-tree predictions over a fixed pool matrix; see
+	// BindPool / PredictPool.
+	cache *poolCache
 }
 
 // Fit trains a forest on (X, y) with the column description features.
@@ -111,6 +121,7 @@ func Fit(X [][]float64, y []float64, features []space.Feature, cfg Config, r *rn
 
 	b := cfg.numTrees()
 	trees := make([]*tree.Regressor, b)
+	compiled := make([]*tree.Compiled, b)
 	inBag := make([][]bool, b) // inBag[t][i]: sample i used by tree t
 	errs := make([]error, b)
 
@@ -144,6 +155,9 @@ func Fit(X [][]float64, y []float64, features []space.Feature, cfg Config, r *rn
 			}
 			inBag[t] = bag
 			trees[t], errs[t] = tree.Fit(bx, by, features, treeCfg, tr)
+			if errs[t] == nil {
+				compiled[t] = trees[t].Compile()
+			}
 		}(t)
 	}
 	wg.Wait()
@@ -153,16 +167,19 @@ func Fit(X [][]float64, y []float64, features []space.Feature, cfg Config, r *rn
 		}
 	}
 
-	f := &Forest{trees: trees, features: features, cfg: cfg, oob: math.NaN()}
+	f := &Forest{
+		trees: trees, compiled: compiled, features: features, cfg: cfg,
+		oob: math.NaN(), treeGen: make([]uint64, b),
+	}
 	if !cfg.DisableBagging {
-		f.oob = oobRMSE(X, y, trees, inBag)
+		f.oob = oobRMSE(X, y, compiled, inBag)
 	}
 	return f, nil
 }
 
 // oobRMSE computes the out-of-bag RMSE: each sample is predicted only by
 // the trees whose bootstrap excluded it.
-func oobRMSE(X [][]float64, y []float64, trees []*tree.Regressor, inBag [][]bool) float64 {
+func oobRMSE(X [][]float64, y []float64, trees []*tree.Compiled, inBag [][]bool) float64 {
 	var sse float64
 	covered := 0
 	for i := range X {
@@ -202,43 +219,121 @@ func (f *Forest) Predict(x []float64) float64 {
 }
 
 // PredictWithUncertainty returns the prediction mean μ and uncertainty σ
-// for x, with σ computed per the configured estimator.
+// for x, with σ computed per the configured estimator. It walks the
+// compiled flat trees and accumulates the between-tree variance with
+// Welford's algorithm: the naive sumSq/b − μ² form catastrophically
+// cancels when μ is large relative to σ (e.g. execution times near 1e8
+// with milli-scale spread), silently zeroing σ and degenerating the
+// uncertainty-driven strategies into pure exploitation.
 func (f *Forest) PredictWithUncertainty(x []float64) (mu, sigma float64) {
-	b := float64(len(f.trees))
-	var sum, sumSq, leafVar float64
-	for _, tr := range f.trees {
-		m, v, _ := tr.PredictWithStats(x)
-		sum += m
-		sumSq += m * m
+	var mean, m2, leafVar float64
+	for t, c := range f.compiled {
+		m, v, _ := c.PredictStats(x)
+		d := m - mean
+		mean += d / float64(t+1)
+		m2 += d * (m - mean)
 		leafVar += v
 	}
-	mu = sum / b
-	betweenVar := sumSq/b - mu*mu
-	if betweenVar < 0 {
-		betweenVar = 0
+	return f.finishMoments(mean, m2, leafVar)
+}
+
+// predictReference is PredictWithUncertainty on the pointer-walking
+// trees; the Welford accumulation is kept operation-for-operation
+// identical so the two engines return bit-identical results.
+func (f *Forest) predictReference(x []float64) (mu, sigma float64) {
+	var mean, m2, leafVar float64
+	for t, tr := range f.trees {
+		m, v, _ := tr.PredictWithStats(x)
+		d := m - mean
+		mean += d / float64(t+1)
+		m2 += d * (m - mean)
+		leafVar += v
 	}
-	variance := betweenVar
+	return f.finishMoments(mean, m2, leafVar)
+}
+
+// finishMoments converts Welford accumulator state into (μ, σ) per the
+// configured uncertainty estimator. Welford's m2 is non-negative by
+// construction; the clamp only guards hypothetical rounding residue.
+func (f *Forest) finishMoments(mean, m2, leafVar float64) (mu, sigma float64) {
+	b := float64(len(f.trees))
+	variance := m2 / b
+	if variance < 0 {
+		variance = 0
+	}
 	if f.cfg.Uncertainty == TotalVariance {
 		variance += leafVar / b
 	}
-	return mu, math.Sqrt(variance)
+	return mean, math.Sqrt(variance)
 }
 
 // PredictBatch predicts all rows of X in parallel, returning μ and σ
-// vectors. It is the hot path of Algorithm 1's scoring step.
+// vectors. It is the hot path of Algorithm 1's scoring step and runs on
+// the compiled flat engine.
+//
+// Within each worker's row chunk the loop nest is tree-outer/row-inner:
+// one tree's flat arrays (tens of KB) stay cache-resident while the
+// whole chunk streams through them, instead of every row cycling the
+// full ensemble (MBs) through L1. Each row's Welford accumulator is
+// still updated in ascending tree order, so results stay bit-identical
+// to PredictWithUncertainty.
 func (f *Forest) PredictBatch(X [][]float64) (mu, sigma []float64) {
 	n := len(X)
 	mu = make([]float64, n)
 	sigma = make([]float64, n)
+	f.parallelRows(n, func(lo, hi int) {
+		m := hi - lo
+		mean := make([]float64, m)
+		m2 := make([]float64, m)
+		leafVar := make([]float64, m)
+		for t, c := range f.compiled {
+			for j := 0; j < m; j++ {
+				pm, pv, _ := c.PredictStats(X[lo+j])
+				d := pm - mean[j]
+				mean[j] += d / float64(t+1)
+				m2[j] += d * (pm - mean[j])
+				leafVar[j] += pv
+			}
+		}
+		for j := 0; j < m; j++ {
+			mu[lo+j], sigma[lo+j] = f.finishMoments(mean[j], m2[j], leafVar[j])
+		}
+	})
+	return mu, sigma
+}
+
+// PredictBatchReference predicts all rows of X through the original
+// pointer-walking tree nodes instead of the compiled flat arrays. It is
+// retained as the equivalence baseline for the flat engine: tests assert
+// bit-identical output, and benchmarks measure the speedup against it.
+func (f *Forest) PredictBatchReference(X [][]float64) (mu, sigma []float64) {
+	return f.batch(X, f.predictReference)
+}
+
+func (f *Forest) batch(X [][]float64, predict func([]float64) (float64, float64)) (mu, sigma []float64) {
+	n := len(X)
+	mu = make([]float64, n)
+	sigma = make([]float64, n)
+	f.parallelRows(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mu[i], sigma[i] = predict(X[i])
+		}
+	})
+	return mu, sigma
+}
+
+// parallelRows splits [0, n) into one contiguous chunk per worker and
+// runs fn on each chunk concurrently.
+func (f *Forest) parallelRows(n int, fn func(lo, hi int)) {
 	workers := f.cfg.workers()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		for i, x := range X {
-			mu[i], sigma[i] = f.PredictWithUncertainty(x)
+		if n > 0 {
+			fn(0, n)
 		}
-		return mu, sigma
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -254,13 +349,10 @@ func (f *Forest) PredictBatch(X [][]float64) (mu, sigma []float64) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				mu[i], sigma[i] = f.PredictWithUncertainty(X[i])
-			}
+			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return mu, sigma
 }
 
 // FeatureUsage returns the fraction of internal-node splits that use each

@@ -212,9 +212,15 @@ func TestDisableBaggingStillSubspaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Probe at fresh points: at the training points themselves every
+	// unbagged tree isolates the sample in a pure leaf and all trees
+	// agree exactly, so the honest between-tree variance is 0 there (the
+	// naive sumSq/b − μ² estimator used to report cancellation noise
+	// instead). Off the training set the random subspaces disagree.
+	probes, _ := friedman(rng.New(99), 50)
 	var total float64
-	for i := 0; i < 50; i++ {
-		_, s := f.PredictWithUncertainty(X[i])
+	for _, x := range probes {
+		_, s := f.PredictWithUncertainty(x)
 		total += s
 	}
 	if total == 0 {
@@ -364,5 +370,22 @@ func BenchmarkPredictBatch7000(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.PredictBatch(pool)
+	}
+}
+
+// BenchmarkPredictBatch7000Reference is the pointer-walking baseline for
+// BenchmarkPredictBatch7000: same forest, same pool, same parallelism,
+// but traversing the heap-allocated node structs instead of the flat
+// arrays.
+func BenchmarkPredictBatch7000Reference(b *testing.B) {
+	X, y := friedman(rng.New(1), 500)
+	pool, _ := friedman(rng.New(2), 7000)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 64}, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictBatchReference(pool)
 	}
 }

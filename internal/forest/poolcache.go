@@ -1,0 +1,122 @@
+package forest
+
+// Pool-prediction cache. Algorithm 1 scores the same fixed pool matrix
+// every iteration; the per-tree component of that score only changes for
+// the ensemble slots a partial Update refreshed. BindPool stores the
+// per-tree prediction of every pool row once, PredictPool aggregates the
+// cached values for an arbitrary subset of rows, and the treeGen
+// generation counters let the cache recompute exactly the refreshed
+// slots after an Update instead of re-walking all trees over all rows.
+
+// poolCache holds per-tree predictions over a fixed pool feature matrix.
+type poolCache struct {
+	X [][]float64 // the bound pool matrix (not copied)
+	b int         // ensemble size
+
+	// mean and lvar store each tree's leaf mean and within-leaf
+	// variance per pool row, row-major: mean[row*b+slot]. Row-major
+	// keeps the per-row aggregation of PredictPool on one contiguous
+	// stretch of memory.
+	mean, lvar []float64
+
+	// gen is the Forest.treeGen snapshot at the last refresh of each
+	// slot; a mismatch marks the slot's cached rows stale.
+	gen []uint64
+}
+
+// BindPool precomputes per-tree predictions for every row of poolX and
+// retains them for PredictPool. Binding the matrix the forest is already
+// bound to is a no-op (staleness after partial updates is reconciled
+// lazily by PredictPool); binding a different matrix rebuilds the cache.
+// The rows of poolX must not be mutated while bound.
+//
+// Together with PredictPool this implements core.PoolPredictor.
+func (f *Forest) BindPool(poolX [][]float64) {
+	if f.cache != nil && sameMatrix(f.cache.X, poolX) {
+		return
+	}
+	b := len(f.trees)
+	f.cache = &poolCache{
+		X: poolX, b: b,
+		mean: make([]float64, len(poolX)*b),
+		lvar: make([]float64, len(poolX)*b),
+		gen:  make([]uint64, b),
+	}
+	all := make([]int, b)
+	for t := range all {
+		all[t] = t
+	}
+	f.refreshCache(all)
+}
+
+// sameMatrix reports whether two matrices are the same slice (identity,
+// not content: the cache contract is that the caller keeps passing the
+// one pool matrix it bound).
+func sameMatrix(a, b [][]float64) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// refreshCache recomputes the cached predictions of the given ensemble
+// slots over all pool rows, parallel over row chunks, and stamps the
+// slots' generations current.
+func (f *Forest) refreshCache(slots []int) {
+	c := f.cache
+	f.parallelRows(len(c.X), func(lo, hi int) {
+		// Slot-outer keeps one tree's flat arrays cache-resident
+		// across the whole row chunk (see PredictBatch).
+		for _, t := range slots {
+			tr := f.compiled[t]
+			for r := lo; r < hi; r++ {
+				m, v, _ := tr.PredictStats(c.X[r])
+				c.mean[r*c.b+t] = m
+				c.lvar[r*c.b+t] = v
+			}
+		}
+	})
+	for _, t := range slots {
+		c.gen[t] = f.treeGen[t]
+	}
+}
+
+// PredictPool returns μ and σ for the pool rows with the given indices,
+// aggregated from the cached per-tree predictions. Slots refreshed by
+// Update since the last call are recomputed first (and only those). The
+// results are bit-identical to PredictBatch over the same rows.
+//
+// PredictPool requires a preceding BindPool and panics without one. Like
+// Update it must not run concurrently with other forest calls.
+func (f *Forest) PredictPool(rows []int) (mu, sigma []float64) {
+	c := f.cache
+	if c == nil {
+		panic("forest: PredictPool without BindPool")
+	}
+	var stale []int
+	for t := range c.gen {
+		if c.gen[t] != f.treeGen[t] {
+			stale = append(stale, t)
+		}
+	}
+	if len(stale) > 0 {
+		f.refreshCache(stale)
+	}
+	n := len(rows)
+	mu = make([]float64, n)
+	sigma = make([]float64, n)
+	f.parallelRows(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := rows[i] * c.b
+			// Same Welford accumulation, in the same slot order, as
+			// PredictWithUncertainty — the bit-identity contract.
+			var mean, m2, leafVar float64
+			for t := 0; t < c.b; t++ {
+				m := c.mean[base+t]
+				d := m - mean
+				mean += d / float64(t+1)
+				m2 += d * (m - mean)
+				leafVar += c.lvar[base+t]
+			}
+			mu[i], sigma[i] = f.finishMoments(mean, m2, leafVar)
+		}
+	})
+	return mu, sigma
+}

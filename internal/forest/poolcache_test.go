@@ -1,0 +1,122 @@
+package forest
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func fitWithPool(t *testing.T, trees int) (*Forest, [][]float64) {
+	t.Helper()
+	X, y := friedman(rng.New(20), 200)
+	pool, _ := friedman(rng.New(21), 300)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: trees}, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, pool
+}
+
+// assertPoolMatchesBatch checks PredictPool against PredictBatch bit for
+// bit over the given row subset.
+func assertPoolMatchesBatch(t *testing.T, f *Forest, pool [][]float64, rows []int) {
+	t.Helper()
+	mu, sigma := f.PredictPool(rows)
+	sub := make([][]float64, len(rows))
+	for i, r := range rows {
+		sub[i] = pool[r]
+	}
+	bmu, bsigma := f.PredictBatch(sub)
+	for i := range rows {
+		if mu[i] != bmu[i] || sigma[i] != bsigma[i] {
+			t.Fatalf("row %d: pool (%v,%v) batch (%v,%v)", rows[i], mu[i], sigma[i], bmu[i], bsigma[i])
+		}
+	}
+}
+
+func TestPredictPoolMatchesBatch(t *testing.T) {
+	f, pool := fitWithPool(t, 16)
+	f.BindPool(pool)
+	rows := []int{0, 7, 13, 99, 299, 150, 13} // unsorted, with a repeat
+	assertPoolMatchesBatch(t, f, pool, rows)
+}
+
+func TestPredictPoolPanicsWithoutBind(t *testing.T) {
+	f, _ := fitWithPool(t, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PredictPool without BindPool did not panic")
+		}
+	}()
+	f.PredictPool([]int{0})
+}
+
+func TestBindPoolIdempotent(t *testing.T) {
+	f, pool := fitWithPool(t, 8)
+	f.BindPool(pool)
+	c := f.cache
+	f.BindPool(pool)
+	if f.cache != c {
+		t.Fatal("rebinding the same matrix rebuilt the cache")
+	}
+	other, _ := friedman(rng.New(23), 100)
+	f.BindPool(other)
+	if f.cache == c {
+		t.Fatal("binding a different matrix kept the old cache")
+	}
+	assertPoolMatchesBatch(t, f, other, []int{0, 50, 99})
+}
+
+// TestPredictPoolAfterUpdate exercises the generation bookkeeping: a
+// partial Update refreshes a quarter of the ensemble, PredictPool must
+// recompute exactly those slots' cached rows and stay bit-identical to
+// PredictBatch.
+func TestPredictPoolAfterUpdate(t *testing.T) {
+	f, pool := fitWithPool(t, 16)
+	f.BindPool(pool)
+	f.PredictPool([]int{0, 1})
+
+	X, y := friedman(rng.New(24), 250)
+	if err := f.Update(X, y, rng.New(25)); err != nil {
+		t.Fatal(err)
+	}
+	stale := 0
+	for tr := range f.cache.gen {
+		if f.cache.gen[tr] != f.treeGen[tr] {
+			stale++
+		}
+	}
+	if stale != 4 { // Update refreshes b/4 slots
+		t.Fatalf("%d stale slots after update, want 4", stale)
+	}
+
+	assertPoolMatchesBatch(t, f, pool, []int{0, 5, 100, 299})
+	for tr := range f.cache.gen {
+		if f.cache.gen[tr] != f.treeGen[tr] {
+			t.Fatalf("slot %d still stale after PredictPool", tr)
+		}
+	}
+}
+
+// TestUpdateRotationKeepsCacheConsistent cycles every ensemble slot via
+// repeated updates, interleaving PredictPool calls, and checks the cache
+// never drifts from the ground-truth batch path.
+func TestUpdateRotationKeepsCacheConsistent(t *testing.T) {
+	f, pool := fitWithPool(t, 8)
+	f.BindPool(pool)
+	orig := append([]uint64(nil), f.treeGen...)
+	X, y := friedman(rng.New(26), 250)
+	rows := []int{3, 44, 150, 299}
+	for i := 0; i < 4; i++ {
+		if err := f.Update(X, y, rng.New(uint64(27+i))); err != nil {
+			t.Fatal(err)
+		}
+		assertPoolMatchesBatch(t, f, pool, rows)
+	}
+	// 4 updates x 2 trees = every slot refreshed exactly once.
+	for tr, g := range f.treeGen {
+		if g != orig[tr]+1 {
+			t.Fatalf("slot %d generation %d, want %d", tr, g, orig[tr]+1)
+		}
+	}
+}

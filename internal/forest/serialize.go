@@ -60,6 +60,10 @@ func (f *Forest) UnmarshalJSON(data []byte) error {
 		trees[i] = t
 	}
 	f.trees = trees
+	f.compiled = make([]*tree.Compiled, len(trees))
+	for i, t := range trees {
+		f.compiled[i] = t.Compile()
+	}
 	f.features = d.Features
 	f.cfg = d.Config
 	f.oob = math.NaN()
@@ -67,6 +71,8 @@ func (f *Forest) UnmarshalJSON(data []byte) error {
 		f.oob = *d.OOB
 	}
 	f.nextRefresh = 0
+	f.treeGen = make([]uint64, len(trees))
+	f.cache = nil
 	return nil
 }
 

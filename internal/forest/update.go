@@ -49,6 +49,10 @@ func (f *Forest) Update(X [][]float64, y []float64, r *rng.RNG) error {
 			return fmt.Errorf("forest: Update refit slot %d: %w", slot, err)
 		}
 		f.trees[slot] = nt
+		f.compiled[slot] = nt.Compile()
+		// Mark the slot for the pool-prediction cache: only refreshed
+		// slots get their cached rows recomputed on the next PredictPool.
+		f.treeGen[slot]++
 	}
 	// OOB bookkeeping is not maintained across partial updates.
 	f.oob = math.NaN()

@@ -192,6 +192,13 @@ func CostToReach(rmse, cost Curve, target float64) (float64, bool) {
 // curves' final (converged) RMSE values scaled by headroom (e.g. 1.05),
 // so both methods provably reach it. Returns the speedup and the target
 // used; ok=false if either curve is empty or never reaches the target.
+//
+// A zero reaching cost is legitimate, not an error: when the NInit
+// cold-start labels are free (or the synthetic evaluator charges
+// nothing) the first checkpoint sits at cost 0, and a method can hit
+// the target there. Both costs zero means neither method did paid work
+// to reach the target — speedup 1. Only the method at zero cost means
+// an unbounded speedup, reported as +Inf.
 func SpeedupToTarget(methodRMSE, methodCost, baseRMSE, baseCost Curve, headroom float64) (speedup, target float64, ok bool) {
 	if methodRMSE.Len() == 0 || baseRMSE.Len() == 0 {
 		return 0, 0, false
@@ -201,8 +208,14 @@ func SpeedupToTarget(methodRMSE, methodCost, baseRMSE, baseCost Curve, headroom 
 	target = math.Max(mFinal, bFinal) * headroom
 	mCost, ok1 := CostToReach(methodRMSE, methodCost, target)
 	bCost, ok2 := CostToReach(baseRMSE, baseCost, target)
-	if !ok1 || !ok2 || mCost <= 0 {
+	if !ok1 || !ok2 || mCost < 0 {
 		return 0, target, false
+	}
+	if mCost == 0 {
+		if bCost == 0 {
+			return 1, target, true
+		}
+		return math.Inf(1), target, true
 	}
 	return bCost / mCost, target, true
 }

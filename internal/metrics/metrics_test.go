@@ -221,3 +221,33 @@ func TestRMSEAtAlphaSubsetProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Zero reaching costs are legitimate (free cold-start labels put the
+// first checkpoint at cost 0) and must not divide to NaN.
+func TestSpeedupZeroCostBoth(t *testing.T) {
+	m := Curve{Samples: []int{1, 2}, Values: []float64{1, 1}}
+	mc := Curve{Samples: []int{1, 2}, Values: []float64{0, 5}}
+	b := Curve{Samples: []int{1, 2}, Values: []float64{1, 1}}
+	bc := Curve{Samples: []int{1, 2}, Values: []float64{0, 3}}
+	sp, _, ok := SpeedupToTarget(m, mc, b, bc, 1.05)
+	if !ok {
+		t.Fatal("zero-cost curves rejected")
+	}
+	if sp != 1 {
+		t.Fatalf("speedup = %v, want 1 when neither method paid anything", sp)
+	}
+}
+
+func TestSpeedupZeroCostMethodOnly(t *testing.T) {
+	m := Curve{Samples: []int{1, 2}, Values: []float64{1, 1}}
+	mc := Curve{Samples: []int{1, 2}, Values: []float64{0, 5}}
+	b := Curve{Samples: []int{1, 2}, Values: []float64{9, 1}}
+	bc := Curve{Samples: []int{1, 2}, Values: []float64{4, 7}}
+	sp, _, ok := SpeedupToTarget(m, mc, b, bc, 1.05)
+	if !ok {
+		t.Fatal("zero-cost method rejected")
+	}
+	if !math.IsInf(sp, 1) {
+		t.Fatalf("speedup = %v, want +Inf when only the method was free", sp)
+	}
+}

@@ -1,0 +1,140 @@
+package tree
+
+import "math"
+
+// Compiled is the flat form of a fitted Regressor: node fields live in
+// contiguous arrays indexed by node id, and traversal is an iterative
+// index walk instead of pointer chasing through heap-scattered node
+// structs. Nodes are laid out in preorder, so a node's left child
+// immediately follows it (no left-child array is needed) and the hot
+// upper levels of the tree share cache lines.
+//
+// Compile preserves prediction semantics exactly: for every input x,
+// Compiled.PredictStats returns bit-identical results to
+// Regressor.PredictWithStats. The pointer-based Regressor remains the
+// structural source of truth (serialization, quantile targets, depth and
+// split-count queries); Compiled is the inference engine the forest runs
+// batch scoring on.
+
+// catFlag is set on flatNode.feature entries of categorical split
+// nodes, so the numeric hot path never touches the categorical bitmap.
+const catFlag int32 = 1 << 30
+
+// flatNode packs the fields the traversal loop reads into 16 bytes, so
+// each step costs a single bounds check and at most one cache line. Two
+// slots are overloaded by node kind: threshold holds the numeric split
+// threshold, a categorical node's (bitmap word offset << 32 | number of
+// categories) as raw bits, or a leaf's mean; right holds the right-child
+// node id on splits and the sample count on leaves.
+type flatNode struct {
+	threshold float64
+	// feature is the split feature id, with catFlag or-ed on for
+	// categorical splits; -1 marks a leaf.
+	feature int32
+	// right is the node id of the right child (left is implicitly
+	// the next node in preorder), or the leaf sample count.
+	right int32
+}
+
+type Compiled struct {
+	nodes []flatNode
+
+	// variance is the within-leaf variance, indexed by node id (the
+	// only leaf statistic that does not fit inside flatNode).
+	variance []float64
+
+	// catBits holds the packed category-membership bitmaps of all
+	// categorical split nodes; each node's word offset and width live
+	// in its threshold bits.
+	catBits []uint64
+}
+
+// Compile flattens the tree into its contiguous-array form.
+func (t *Regressor) Compile() *Compiled {
+	n := countNodes(t.root)
+	c := &Compiled{
+		nodes:    make([]flatNode, 0, n),
+		variance: make([]float64, 0, n),
+	}
+	c.emit(t.root)
+	return c
+}
+
+// emit appends nd and its subtree in preorder and returns nd's node id.
+func (c *Compiled) emit(nd *node) int32 {
+	id := int32(len(c.nodes))
+	c.nodes = append(c.nodes, flatNode{feature: -1, threshold: nd.mean, right: int32(nd.count)})
+	c.variance = append(c.variance, nd.variance)
+	if nd.isLeaf() {
+		return id
+	}
+	feature := int32(nd.feature)
+	threshold := nd.threshold
+	if nd.catLeft != nil {
+		feature |= catFlag
+		ncat := len(nd.catLeft)
+		off := len(c.catBits)
+		words := (ncat + 63) / 64
+		for w := 0; w < words; w++ {
+			c.catBits = append(c.catBits, 0)
+		}
+		for cat, in := range nd.catLeft {
+			if in {
+				c.catBits[off+cat>>6] |= 1 << (uint(cat) & 63)
+			}
+		}
+		threshold = math.Float64frombits(uint64(off)<<32 | uint64(uint32(ncat)))
+	}
+	left := c.emit(nd.left)
+	_ = left // preorder invariant: left == id+1
+	right := c.emit(nd.right)
+	c.nodes[id].feature = feature
+	c.nodes[id].threshold = threshold
+	c.nodes[id].right = right
+	return id
+}
+
+// NumNodes returns the total node count.
+func (c *Compiled) NumNodes() int { return len(c.nodes) }
+
+// Predict returns the tree's point prediction for feature vector x.
+func (c *Compiled) Predict(x []float64) float64 {
+	m, _, _ := c.PredictStats(x)
+	return m
+}
+
+// PredictStats returns the mean, within-leaf variance and sample count of
+// the leaf x falls into. It is the flat-engine equivalent of
+// Regressor.PredictWithStats and returns bit-identical values.
+func (c *Compiled) PredictStats(x []float64) (mean, variance float64, count int) {
+	nodes := c.nodes
+	i := int32(0)
+	for {
+		nd := nodes[i]
+		f := nd.feature
+		if f < 0 {
+			return nd.threshold, c.variance[i], int(nd.right)
+		}
+		if f&catFlag == 0 {
+			if x[f] <= nd.threshold {
+				i++
+			} else {
+				i = nd.right
+			}
+		} else {
+			i = c.stepCat(nd, x, i)
+		}
+	}
+}
+
+// stepCat resolves a categorical split, kept out of line so the numeric
+// hot path of PredictStats stays within the inlining budget.
+func (c *Compiled) stepCat(nd flatNode, x []float64, i int32) int32 {
+	bits := math.Float64bits(nd.threshold)
+	cat := int(x[nd.feature&^catFlag])
+	if cat >= 0 && cat < int(uint32(bits)) &&
+		c.catBits[int(bits>>32)+cat>>6]>>(uint(cat)&63)&1 != 0 {
+		return i + 1
+	}
+	return nd.right
+}

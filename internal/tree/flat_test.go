@@ -1,0 +1,150 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// mixedData generates n rows over a mixed numeric/categorical schema
+// with an interacting target.
+func mixedData(r *rng.RNG, n int) (X [][]float64, y []float64, fs []space.Feature) {
+	fs = []space.Feature{
+		{Name: "a", Kind: space.FeatNumeric},
+		{Name: "b", Kind: space.FeatNumeric},
+		{Name: "c", Kind: space.FeatCategorical, NumCategories: 5},
+		{Name: "d", Kind: space.FeatCategorical, NumCategories: 70}, // > 64: two bitmap words
+	}
+	X = make([][]float64, n)
+	y = make([]float64, n)
+	for i := range X {
+		c := r.Intn(5)
+		d := r.Intn(70)
+		X[i] = []float64{r.Float64(), r.Float64() * 10, float64(c), float64(d)}
+		y[i] = X[i][0]*3 + math.Sin(X[i][1]) + float64(c%2)*5 + float64(d%3)
+	}
+	return X, y, fs
+}
+
+// TestCompiledMatchesPointer asserts the flat engine's bit-identity
+// contract against the pointer-walking Regressor on mixed feature
+// spaces, including probes with out-of-range category codes.
+func TestCompiledMatchesPointer(t *testing.T) {
+	r := rng.New(1)
+	X, y, fs := mixedData(r, 400)
+	for _, cfg := range []Config{
+		{},
+		{MaxDepth: 3},
+		{MinSamplesLeaf: 7},
+		{MaxFeatures: 2},
+	} {
+		tr, err := Fit(X, y, fs, cfg, rng.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := tr.Compile()
+		if c.NumNodes() != tr.NumNodes() {
+			t.Fatalf("cfg %+v: compiled %d nodes, tree %d", cfg, c.NumNodes(), tr.NumNodes())
+		}
+		probes, _, _ := mixedData(rng.New(3), 300)
+		// Out-of-range and boundary category codes must route like the
+		// pointer engine (to the right child).
+		probes = append(probes,
+			[]float64{0.5, 1, -1, 0},
+			[]float64{0.5, 1, 5, 69},
+			[]float64{0.5, 1, 0, 70},
+			[]float64{0.5, 1, 99, -3},
+		)
+		for i, x := range probes {
+			pm, pv, pc := tr.PredictWithStats(x)
+			cm, cv, cc := c.PredictStats(x)
+			if pm != cm || pv != cv || pc != cc {
+				t.Fatalf("cfg %+v probe %d: pointer (%v,%v,%d) flat (%v,%v,%d)",
+					cfg, i, pm, pv, pc, cm, cv, cc)
+			}
+			if p := c.Predict(x); p != tr.Predict(x) {
+				t.Fatalf("cfg %+v probe %d: Predict mismatch", cfg, i)
+			}
+		}
+	}
+}
+
+func TestCompiledSingleLeaf(t *testing.T) {
+	// A constant target yields a pure root: the compiled tree is a lone
+	// leaf and must never index its (absent) children.
+	fs := []space.Feature{{Name: "a", Kind: space.FeatNumeric}}
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	tr, err := Fit(X, y, fs, Config{}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Compile()
+	if c.NumNodes() != 1 {
+		t.Fatalf("compiled %d nodes, want 1", c.NumNodes())
+	}
+	m, v, n := c.PredictStats([]float64{-100})
+	if m != 7 || v != 0 || n != 3 {
+		t.Fatalf("leaf stats (%v,%v,%d)", m, v, n)
+	}
+}
+
+func TestCompiledSerializeRoundTrip(t *testing.T) {
+	// A tree reloaded from JSON must compile to the same predictions.
+	r := rng.New(5)
+	X, y, fs := mixedData(r, 200)
+	tr, err := Fit(X, y, fs, Config{}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tr.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := UnmarshalJSONWithFeatures(data, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := tr.Compile(), tr2.Compile()
+	probes, _, _ := mixedData(rng.New(7), 100)
+	for i, x := range probes {
+		m1, v1, n1 := c1.PredictStats(x)
+		m2, v2, n2 := c2.PredictStats(x)
+		if m1 != m2 || v1 != v2 || n1 != n2 {
+			t.Fatalf("probe %d: (%v,%v,%d) vs (%v,%v,%d)", i, m1, v1, n1, m2, v2, n2)
+		}
+	}
+}
+
+func BenchmarkPredictPointerWalk(b *testing.B) {
+	X, y, fs := mixedData(rng.New(8), 500)
+	tr, err := Fit(X, y, fs, Config{}, rng.New(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes, _, _ := mixedData(rng.New(10), 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range probes {
+			tr.PredictWithStats(x)
+		}
+	}
+}
+
+func BenchmarkPredictFlat(b *testing.B) {
+	X, y, fs := mixedData(rng.New(8), 500)
+	tr, err := Fit(X, y, fs, Config{}, rng.New(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := tr.Compile()
+	probes, _, _ := mixedData(rng.New(10), 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range probes {
+			c.PredictStats(x)
+		}
+	}
+}
