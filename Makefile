@@ -1,16 +1,24 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet test race bench figures figures-paper report examples clean
+.PHONY: all build check vet test race train-equivalence bench bench-train figures figures-paper report examples clean
 
 all: build check
 
 build:
 	go build ./...
 
-# check is the pre-commit gate: static analysis plus the full test suite
+# check is the pre-commit gate: static analysis, the full test suite
 # under the race detector (the forest/experiment layers are heavily
-# concurrent).
-check: vet race
+# concurrent), and the training-engine equivalence gate.
+check: vet race train-equivalence
+
+# train-equivalence gates the presorted-column training engine: the
+# builder-equivalence property tests (presorted vs reference builder must
+# emit bit-identical trees) and the forest fit path with DisableBagging
+# on and off, all under the race detector so the per-worker workspace
+# reuse is exercised concurrently.
+train-equivalence:
+	go test -race -run 'TestBuilderEquivalence|TestWorkspaceReuse|TestForestFitBaggingModes|TestOOBParallel' ./internal/tree ./internal/forest
 
 vet:
 	go vet ./...
@@ -24,6 +32,11 @@ race:
 # Full benchmark sweep (every table/figure + ablations at reduced scale).
 bench:
 	go test -bench=. -benchmem -run xxx ./...
+
+# Training-engine benchmarks only: paper-scale tree/forest fits on the
+# presorted engine vs the retained reference builder.
+bench-train:
+	go test -bench 'TreeFit|ForestFit' -benchmem -run xxx .
 
 # Regenerate every table and figure of the paper (quick, shape-preserving).
 figures:

@@ -120,45 +120,53 @@ func Fit(X [][]float64, y []float64, features []space.Feature, cfg Config, r *rn
 	treeCfg := cfg.Tree
 
 	b := cfg.numTrees()
+	n := len(X)
 	trees := make([]*tree.Regressor, b)
 	compiled := make([]*tree.Compiled, b)
 	inBag := make([][]bool, b) // inBag[t][i]: sample i used by tree t
 	errs := make([]error, b)
 
+	// One goroutine per worker slot, each fitting a strided subset of the
+	// ensemble with slot-local scratch: a tree.Workspace (the presorted
+	// engine's reusable buffers) and one bootstrap pair (bx, by) reused
+	// across all of the slot's trees instead of allocated per tree.
+	// Per-tree RNG streams come from r.Child(t), so the fitted forest is
+	// independent of worker count and scheduling.
+	workers := cfg.workers()
+	if workers > b {
+		workers = b
+	}
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.workers())
-	for t := 0; t < b; t++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(t int) {
+		go func(w int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-
-			tr := r.Child(uint64(t))
-			n := len(X)
+			ws := tree.NewWorkspace()
 			var bx [][]float64
 			var by []float64
-			bag := make([]bool, n)
-			if cfg.DisableBagging {
-				bx, by = X, y
-				for i := range bag {
-					bag[i] = true
-				}
-			} else {
+			if !cfg.DisableBagging {
 				bx = make([][]float64, n)
 				by = make([]float64, n)
-				for i := 0; i < n; i++ {
-					j := tr.Intn(n)
-					bx[i], by[i] = X[j], y[j]
-					bag[j] = true
+			}
+			for t := w; t < b; t += workers {
+				tr := r.Child(uint64(t))
+				if cfg.DisableBagging {
+					trees[t], errs[t] = tree.FitWorkspace(X, y, features, treeCfg, tr, ws)
+				} else {
+					bag := make([]bool, n)
+					for i := 0; i < n; i++ {
+						j := tr.Intn(n)
+						bx[i], by[i] = X[j], y[j]
+						bag[j] = true
+					}
+					inBag[t] = bag
+					trees[t], errs[t] = tree.FitWorkspace(bx, by, features, treeCfg, tr, ws)
+				}
+				if errs[t] == nil {
+					compiled[t] = trees[t].Compile()
 				}
 			}
-			inBag[t] = bag
-			trees[t], errs[t] = tree.Fit(bx, by, features, treeCfg, tr)
-			if errs[t] == nil {
-				compiled[t] = trees[t].Compile()
-			}
-		}(t)
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -172,30 +180,41 @@ func Fit(X [][]float64, y []float64, features []space.Feature, cfg Config, r *rn
 		oob: math.NaN(), treeGen: make([]uint64, b),
 	}
 	if !cfg.DisableBagging {
-		f.oob = oobRMSE(X, y, compiled, inBag)
+		f.oob = f.oobRMSE(X, y, inBag)
 	}
 	return f, nil
 }
 
 // oobRMSE computes the out-of-bag RMSE: each sample is predicted only by
-// the trees whose bootstrap excluded it.
-func oobRMSE(X [][]float64, y []float64, trees []*tree.Compiled, inBag [][]bool) float64 {
+// the trees whose bootstrap excluded it. Rows are chunked across the
+// worker pool with the tree loop outermost per chunk (one compiled
+// tree's flat arrays stay cache-resident while the chunk streams through
+// them); each row's vote sum still accumulates in ascending tree order
+// and the final reduction runs serially in row order, so the result is
+// bit-identical regardless of worker count.
+func (f *Forest) oobRMSE(X [][]float64, y []float64, inBag [][]bool) float64 {
+	n := len(X)
+	sums := make([]float64, n)
+	votes := make([]int, n)
+	f.parallelRows(n, func(lo, hi int) {
+		for t, tr := range f.compiled {
+			bag := inBag[t]
+			for i := lo; i < hi; i++ {
+				if bag[i] {
+					continue
+				}
+				sums[i] += tr.Predict(X[i])
+				votes[i]++
+			}
+		}
+	})
 	var sse float64
 	covered := 0
 	for i := range X {
-		var sum float64
-		votes := 0
-		for t, tr := range trees {
-			if inBag[t][i] {
-				continue
-			}
-			sum += tr.Predict(X[i])
-			votes++
-		}
-		if votes == 0 {
+		if votes[i] == 0 {
 			continue
 		}
-		d := sum/float64(votes) - y[i]
+		d := sums[i]/float64(votes[i]) - y[i]
 		sse += d * d
 		covered++
 	}

@@ -349,6 +349,98 @@ func TestTreeDepthStats(t *testing.T) {
 	}
 }
 
+// TestForestFitBaggingModes pins the strided-worker fit path in both
+// bagging modes: the fitted forest must be identical across worker
+// counts (per-tree streams come from Child(t), and the per-worker
+// bootstrap/workspace scratch must not bleed between trees), and OOB
+// must be defined exactly when bagging is on. Run under -race this also
+// gates the presorted engine's concurrent use from multiple workers.
+func TestForestFitBaggingModes(t *testing.T) {
+	X, y := friedman(rng.New(40), 250)
+	probes, _ := friedman(rng.New(41), 60)
+	fs := numFeatures(7)
+	for _, disable := range []bool{false, true} {
+		cfg := Config{NumTrees: 24, DisableBagging: disable, Workers: 5,
+			Tree: tree.Config{MaxFeatures: 3}}
+		f1, err := Fit(X, y, fs, cfg, rng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = 1
+		f2, err := Fit(X, y, fs, cfg, rng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu1, s1 := f1.PredictBatch(probes)
+		mu2, s2 := f2.PredictBatch(probes)
+		for i := range probes {
+			if mu1[i] != mu2[i] || s1[i] != s2[i] {
+				t.Fatalf("disable=%v: worker count changed predictions at row %d", disable, i)
+			}
+		}
+		if disable && !math.IsNaN(f1.OOBRMSE()) {
+			t.Fatalf("OOB defined with bagging disabled: %v", f1.OOBRMSE())
+		}
+		if !disable && (math.IsNaN(f1.OOBRMSE()) || f1.OOBRMSE() != f2.OOBRMSE()) {
+			t.Fatalf("OOB not reproducible across worker counts: %v vs %v", f1.OOBRMSE(), f2.OOBRMSE())
+		}
+	}
+}
+
+// TestOOBParallelMatchesSerial checks the chunked-parallel OOB pass
+// against a plain serial recomputation: same votes, bit-identical RMSE,
+// for several worker counts (including more workers than rows would
+// split evenly across).
+func TestOOBParallelMatchesSerial(t *testing.T) {
+	X, y := friedman(rng.New(44), 150)
+	n := len(X)
+	for _, workers := range []int{1, 3, 8} {
+		f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 32, Workers: workers}, rng.New(45))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reconstruct the bootstrap membership from the same child
+		// streams Fit used.
+		root := rng.New(45)
+		inBag := make([][]bool, f.NumTrees())
+		for tr := 0; tr < f.NumTrees(); tr++ {
+			child := root.Child(uint64(tr))
+			bag := make([]bool, n)
+			for i := 0; i < n; i++ {
+				bag[child.Intn(n)] = true
+			}
+			inBag[tr] = bag
+		}
+		var sse float64
+		covered := 0
+		for i := range X {
+			var sum float64
+			votes := 0
+			for tr, c := range f.compiled {
+				if inBag[tr][i] {
+					continue
+				}
+				sum += c.Predict(X[i])
+				votes++
+			}
+			if votes == 0 {
+				continue
+			}
+			d := sum/float64(votes) - y[i]
+			sse += d * d
+			covered++
+		}
+		want := math.Sqrt(sse / float64(covered))
+		if got := f.OOBRMSE(); got != want {
+			t.Fatalf("workers=%d: parallel OOB %v != serial %v", workers, got, want)
+		}
+		// The method itself must also be invariant to its own chunking.
+		if again := f.oobRMSE(X, y, inBag); again != want {
+			t.Fatalf("workers=%d: oobRMSE recomputation drifted: %v != %v", workers, again, want)
+		}
+	}
+}
+
 func BenchmarkFitForest(b *testing.B) {
 	X, y := friedman(rng.New(1), 500)
 	fs := numFeatures(7)

@@ -33,18 +33,21 @@ func (f *Forest) Update(X [][]float64, y []float64, r *rng.RNG) error {
 	if k < 1 {
 		k = 1
 	}
+	// One bootstrap pair and one presorted-engine workspace serve all k
+	// sequential refits of this update.
 	n := len(X)
+	bx := make([][]float64, n)
+	by := make([]float64, n)
+	ws := tree.NewWorkspace()
 	for i := 0; i < k; i++ {
 		slot := f.nextRefresh % len(f.trees)
 		f.nextRefresh++
 		tr := r.Child(uint64(slot))
-		bx := make([][]float64, n)
-		by := make([]float64, n)
 		for j := 0; j < n; j++ {
 			pick := tr.Intn(n)
 			bx[j], by[j] = X[pick], y[pick]
 		}
-		nt, err := tree.Fit(bx, by, f.features, treeCfg, tr)
+		nt, err := tree.FitWorkspace(bx, by, f.features, treeCfg, tr, ws)
 		if err != nil {
 			return fmt.Errorf("forest: Update refit slot %d: %w", slot, err)
 		}

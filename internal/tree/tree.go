@@ -11,12 +11,20 @@
 // Leaves retain the mean, the within-leaf variance and the sample count
 // of their training targets so that the forest can compute the
 // law-of-total-variance uncertainty of Hutter et al. 2014.
+//
+// Two builders produce these trees. Fit (and FitWorkspace) run the
+// presorted-column engine of presort.go: each numeric column's sample
+// order is sorted once per tree and stably partitioned down the
+// recursion, so split search is a single allocation-free linear scan per
+// node. FitReference runs the retained per-node-sorting builder of
+// reference.go. The two are bit-identical — same splits, thresholds,
+// leaf statistics and RNG stream consumption — which presort_test.go
+// pins with a property test.
 package tree
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/rng"
 	"repro/internal/space"
@@ -82,7 +90,8 @@ type node struct {
 	count    int
 
 	// targets holds the leaf's sorted training targets when
-	// Config.KeepTargets is set; nil otherwise.
+	// Config.KeepTargets is set; nil otherwise (and always nil on
+	// internal nodes — only LeafTargets and the serializer read them).
 	targets []float64
 }
 
@@ -95,83 +104,44 @@ type Regressor struct {
 	cfg      Config
 }
 
-// Fit builds a regression tree on (X, y). X rows are feature vectors as
-// produced by space.Space.Encode; features describes each column. r
-// drives the random-subspace feature sampling and may be nil when
-// cfg.MaxFeatures selects all features.
-func Fit(X [][]float64, y []float64, features []space.Feature, cfg Config, r *rng.RNG) (*Regressor, error) {
+// validateFit checks the (X, y, features, cfg, r) combination shared by
+// every builder entry point and resolves the effective mtry.
+func validateFit(X [][]float64, y []float64, features []space.Feature, cfg Config, r *rng.RNG) (mtry int, err error) {
 	if len(X) == 0 {
-		return nil, fmt.Errorf("tree: empty training set")
+		return 0, fmt.Errorf("tree: empty training set")
 	}
 	if len(X) != len(y) {
-		return nil, fmt.Errorf("tree: len(X)=%d but len(y)=%d", len(X), len(y))
+		return 0, fmt.Errorf("tree: len(X)=%d but len(y)=%d", len(X), len(y))
 	}
 	d := len(features)
 	if d == 0 {
-		return nil, fmt.Errorf("tree: no features")
+		return 0, fmt.Errorf("tree: no features")
 	}
 	for i, row := range X {
 		if len(row) != d {
-			return nil, fmt.Errorf("tree: row %d has %d columns, want %d", i, len(row), d)
+			return 0, fmt.Errorf("tree: row %d has %d columns, want %d", i, len(row), d)
 		}
 	}
-	mtry := cfg.MaxFeatures
+	mtry = cfg.MaxFeatures
 	if mtry <= 0 || mtry > d {
 		mtry = d
 	}
 	if mtry < d && r == nil {
-		return nil, fmt.Errorf("tree: random subspace requires a generator")
+		return 0, fmt.Errorf("tree: random subspace requires a generator")
 	}
-
-	b := &builder{X: X, y: y, features: features, cfg: cfg, mtry: mtry, r: r}
-	idx := make([]int, len(X))
-	for i := range idx {
-		idx[i] = i
-	}
-	root := b.build(idx, 0)
-	return &Regressor{features: features, root: root, cfg: cfg}, nil
+	return mtry, nil
 }
 
-// builder carries the shared state of one induction run.
-type builder struct {
-	X        [][]float64
-	y        []float64
-	features []space.Feature
-	cfg      Config
-	mtry     int
-	r        *rng.RNG
-
-	// scratch buffers reused across nodes to limit allocation.
-	order []int
-}
-
-// leafStats computes mean/variance/count of y over idx.
-func (b *builder) leafStats(idx []int) (mean, variance float64, count int) {
-	var sum, sumSq float64
-	for _, i := range idx {
-		sum += b.y[i]
-		sumSq += b.y[i] * b.y[i]
-	}
-	n := float64(len(idx))
-	mean = sum / n
-	variance = sumSq/n - mean*mean
-	if variance < 0 {
-		variance = 0 // guard against catastrophic cancellation
-	}
-	return mean, variance, len(idx)
-}
-
-func (b *builder) makeLeaf(idx []int) *node {
-	m, v, c := b.leafStats(idx)
-	n := &node{mean: m, variance: v, count: c}
-	if b.cfg.KeepTargets {
-		n.targets = make([]float64, len(idx))
-		for i, j := range idx {
-			n.targets[i] = b.y[j]
-		}
-		sort.Float64s(n.targets)
-	}
-	return n
+// Fit builds a regression tree on (X, y). X rows are feature vectors as
+// produced by space.Space.Encode; features describes each column. r
+// drives the random-subspace feature sampling and may be nil when
+// cfg.MaxFeatures selects all features.
+//
+// Fit runs the presorted-column engine with a throwaway workspace; call
+// FitWorkspace with a reused Workspace when fitting many trees (the
+// random forest's per-worker loop does).
+func Fit(X [][]float64, y []float64, features []space.Feature, cfg Config, r *rng.RNG) (*Regressor, error) {
+	return FitWorkspace(X, y, features, cfg, r, nil)
 }
 
 // split describes the best split found at a node.
@@ -183,224 +153,12 @@ type split struct {
 	valid     bool
 }
 
-func (b *builder) build(idx []int, depth int) *node {
-	if len(idx) < b.cfg.minSplit() || (b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
-		return b.makeLeaf(idx)
-	}
-	_, variance, _ := b.leafStats(idx)
-	if variance <= 1e-300 { // pure node
-		return b.makeLeaf(idx)
-	}
-
-	best := b.findSplit(idx)
-	if !best.valid || best.gain < b.cfg.MinImpurityDecrease {
-		return b.makeLeaf(idx)
-	}
-
-	leftIdx, rightIdx := b.partition(idx, best)
-	if len(leftIdx) == 0 || len(rightIdx) == 0 {
-		// Defensive: a degenerate partition means the split was not real.
-		return b.makeLeaf(idx)
-	}
-	n := b.makeLeaf(idx) // keep node statistics for diagnostics
-	n.feature = best.feature
-	n.threshold = best.threshold
-	n.catLeft = best.catLeft
-	n.left = b.build(leftIdx, depth+1)
-	n.right = b.build(rightIdx, depth+1)
-	return n
-}
-
-// findSplit scans a random-subspace sample of features and returns the
-// best split. Features that are constant on idx do not consume the mtry
-// quota.
-func (b *builder) findSplit(idx []int) split {
-	d := len(b.features)
-	perm := b.featureOrder(d)
-	var best split
-	examined := 0
-	for _, f := range perm {
-		if examined >= b.mtry && best.valid {
-			break
-		}
-		var s split
-		var constant bool
-		if b.features[f].Kind == space.FeatCategorical {
-			s, constant = b.bestCategoricalSplit(idx, f)
-		} else {
-			s, constant = b.bestNumericSplit(idx, f)
-		}
-		if constant {
-			continue
-		}
-		examined++
-		if s.valid && (!best.valid || s.gain > best.gain) {
-			best = s
-		}
-	}
-	return best
-}
-
-// featureOrder returns the feature visitation order: a random permutation
-// when subspacing, or identity when considering all features.
-func (b *builder) featureOrder(d int) []int {
-	if b.mtry >= d || b.r == nil {
-		if cap(b.order) < d {
-			b.order = make([]int, d)
-		}
-		ord := b.order[:d]
-		for i := range ord {
-			ord[i] = i
-		}
-		return ord
-	}
-	return b.r.Perm(d)
-}
-
-// bestNumericSplit finds the best threshold split of feature f over idx.
-// constant reports whether the feature takes a single value on idx.
-func (b *builder) bestNumericSplit(idx []int, f int) (split, bool) {
-	n := len(idx)
-	ord := make([]int, n)
-	copy(ord, idx)
-	sort.Slice(ord, func(a, c int) bool { return b.X[ord[a]][f] < b.X[ord[c]][f] })
-	if b.X[ord[0]][f] == b.X[ord[n-1]][f] {
-		return split{}, true
-	}
-
-	minLeaf := b.cfg.minLeaf()
-	var totalSum, totalSq float64
-	for _, i := range ord {
-		totalSum += b.y[i]
-		totalSq += b.y[i] * b.y[i]
-	}
-	parentSSE := totalSq - totalSum*totalSum/float64(n)
-
-	best := split{feature: f}
-	var leftSum, leftSq float64
-	for k := 0; k < n-1; k++ {
-		i := ord[k]
-		leftSum += b.y[i]
-		leftSq += b.y[i] * b.y[i]
-		if b.X[ord[k]][f] == b.X[ord[k+1]][f] {
-			continue // can only split between distinct values
-		}
-		nl, nr := k+1, n-k-1
-		if nl < minLeaf || nr < minLeaf {
-			continue
-		}
-		rightSum := totalSum - leftSum
-		rightSq := totalSq - leftSq
-		sse := (leftSq - leftSum*leftSum/float64(nl)) + (rightSq - rightSum*rightSum/float64(nr))
-		gain := parentSSE - sse
-		if !best.valid || gain > best.gain {
-			best.valid = true
-			best.gain = gain
-			best.threshold = (b.X[ord[k]][f] + b.X[ord[k+1]][f]) / 2
-		}
-	}
-	return best, false
-}
-
 // catStat accumulates per-category target statistics.
 type catStat struct {
 	cat   int
 	count int
 	sum   float64
 	sumSq float64
-}
-
-// bestCategoricalSplit finds the best subset split of categorical feature
-// f over idx using the sort-categories-by-mean reduction.
-func (b *builder) bestCategoricalSplit(idx []int, f int) (split, bool) {
-	ncat := b.features[f].NumCategories
-	statsByCat := make([]catStat, ncat)
-	for c := range statsByCat {
-		statsByCat[c].cat = c
-	}
-	for _, i := range idx {
-		c := int(b.X[i][f])
-		if c < 0 || c >= ncat {
-			// Out-of-range category values should be impossible for
-			// encodings produced by space.Encode; treat as last category.
-			c = ncat - 1
-		}
-		statsByCat[c].count++
-		statsByCat[c].sum += b.y[i]
-		statsByCat[c].sumSq += b.y[i] * b.y[i]
-	}
-	present := statsByCat[:0:0]
-	for _, s := range statsByCat {
-		if s.count > 0 {
-			present = append(present, s)
-		}
-	}
-	if len(present) < 2 {
-		return split{}, true
-	}
-	sort.Slice(present, func(a, c int) bool {
-		return present[a].sum/float64(present[a].count) < present[c].sum/float64(present[c].count)
-	})
-
-	n := len(idx)
-	var totalSum, totalSq float64
-	for _, s := range present {
-		totalSum += s.sum
-		totalSq += s.sumSq
-	}
-	parentSSE := totalSq - totalSum*totalSum/float64(n)
-	minLeaf := b.cfg.minLeaf()
-
-	best := split{feature: f}
-	bestPrefix := -1
-	var leftSum, leftSq float64
-	leftCount := 0
-	for k := 0; k < len(present)-1; k++ {
-		leftSum += present[k].sum
-		leftSq += present[k].sumSq
-		leftCount += present[k].count
-		nl, nr := leftCount, n-leftCount
-		if nl < minLeaf || nr < minLeaf {
-			continue
-		}
-		rightSum := totalSum - leftSum
-		rightSq := totalSq - leftSq
-		sse := (leftSq - leftSum*leftSum/float64(nl)) + (rightSq - rightSum*rightSum/float64(nr))
-		gain := parentSSE - sse
-		if !best.valid || gain > best.gain {
-			best.valid = true
-			best.gain = gain
-			bestPrefix = k
-		}
-	}
-	if best.valid {
-		catLeft := make([]bool, ncat)
-		for k := 0; k <= bestPrefix; k++ {
-			catLeft[present[k].cat] = true
-		}
-		best.catLeft = catLeft
-	}
-	return best, false
-}
-
-// partition splits idx by s into left/right index slices.
-func (b *builder) partition(idx []int, s split) (left, right []int) {
-	for _, i := range idx {
-		if b.goesLeft(b.X[i], s.feature, s.threshold, s.catLeft) {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	return left, right
-}
-
-func (b *builder) goesLeft(x []float64, f int, threshold float64, catLeft []bool) bool {
-	if catLeft != nil {
-		c := int(x[f])
-		return c >= 0 && c < len(catLeft) && catLeft[c]
-	}
-	return x[f] <= threshold
 }
 
 // Predict returns the tree's point prediction for feature vector x.
