@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet test race train-equivalence bench bench-train figures figures-paper report examples clean
+.PHONY: all build check vet test race train-equivalence resume-equivalence bench bench-train figures figures-paper report examples clean
 
 all: build check
 
@@ -9,8 +9,8 @@ build:
 
 # check is the pre-commit gate: static analysis, the full test suite
 # under the race detector (the forest/experiment layers are heavily
-# concurrent), and the training-engine equivalence gate.
-check: vet race train-equivalence
+# concurrent), and the two equivalence gates (training engine, resume).
+check: vet race train-equivalence resume-equivalence
 
 # train-equivalence gates the presorted-column training engine: the
 # builder-equivalence property tests (presorted vs reference builder must
@@ -19,6 +19,13 @@ check: vet race train-equivalence
 # reuse is exercised concurrently.
 train-equivalence:
 	go test -race -run 'TestBuilderEquivalence|TestWorkspaceReuse|TestForestFitBaggingModes|TestOOBParallel' ./internal/tree ./internal/forest
+
+# resume-equivalence gates the checkpoint/resume subsystem: an
+# interrupted run continued from its snapshot must be bit-identical to
+# the uninterrupted run (cold-refit and warm-update forests, the
+# snapshot JSON round trip, and the pipeline-level Tune resume).
+resume-equivalence:
+	go test -race -run 'TestResumeEquivalence|TestCheckpointCadence|TestTuneCheckpointResume|TestTuneRejectsForeignCheckpoint' ./internal/core ./internal/autotune ./internal/runstate
 
 vet:
 	go vet ./...

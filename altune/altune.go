@@ -11,7 +11,7 @@
 //	    altune.Bool("vectorize"),
 //	)
 //	pool := sp.SampleConfigs(altune.NewRNG(1), 5000)
-//	res, err := altune.Run(sp, pool, myEvaluator,
+//	res, err := altune.Run(ctx, sp, pool, myEvaluator,
 //	    altune.PWU{Alpha: 0.05}, altune.Params{NMax: 500}, altune.NewRNG(2), nil)
 //
 // The paper's 14 benchmarks (12 SPAPT kernels, kripke, hypre) are
@@ -20,6 +20,7 @@
 package altune
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/autotune"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/runstate"
 	"repro/internal/search"
 	"repro/internal/space"
 	"repro/internal/transfer"
@@ -124,11 +126,41 @@ func GPFitter(cfg GPConfig) Fitter {
 
 // ---- Active learning (internal/core) ----
 
-// Evaluator labels configurations with measured performance.
+// Evaluator labels configurations with measured performance. Evaluate
+// receives a context and may fail; see FailurePolicy for how failures
+// are handled.
 type Evaluator = core.Evaluator
 
 // EvaluatorFunc adapts a function to Evaluator.
 type EvaluatorFunc = core.EvaluatorFunc
+
+// LegacyEvaluator is the context-free labeling contract for infallible
+// evaluators; lift one into Run with AdaptEvaluator.
+type LegacyEvaluator = core.LegacyEvaluator
+
+// LegacyEvaluatorFunc adapts a function to LegacyEvaluator.
+type LegacyEvaluatorFunc = core.LegacyEvaluatorFunc
+
+// AdaptEvaluator lifts a LegacyEvaluator into the context-aware
+// contract.
+func AdaptEvaluator(ev LegacyEvaluator) Evaluator { return core.AdaptEvaluator(ev) }
+
+// StatefulEvaluator is an Evaluator whose internal generator state can
+// be captured in snapshots and restored on resume.
+type StatefulEvaluator = core.StatefulEvaluator
+
+// FailurePolicy governs transient evaluation failures (capped
+// exponential-backoff retries, then skip or abort).
+type FailurePolicy = core.FailurePolicy
+
+// FailureAction selects skip-and-drop or abort once retries are spent.
+type FailureAction = core.FailureAction
+
+// The failure actions.
+const (
+	FailAbort = core.FailAbort
+	FailSkip  = core.FailSkip
+)
 
 // Strategy selects the next batch of pool candidates.
 type Strategy = core.Strategy
@@ -139,8 +171,26 @@ type Candidates = core.Candidates
 // Params are Algorithm 1's knobs (NInit/NBatch/NMax/Forest).
 type Params = core.Params
 
-// Result is a completed active-learning run.
+// Result is a completed active-learning run, including per-iteration
+// telemetry (Result.Stats) and the final RNG stream position.
 type Result = core.Result
+
+// IterStats is one iteration's telemetry (timings, retries, cache use).
+type IterStats = core.IterStats
+
+// RunStats aggregates IterStats over a run (see Result.Telemetry).
+type RunStats = core.RunStats
+
+// Selection is one recorded strategy decision (Params.RecordSelections).
+type Selection = core.Selection
+
+// Snapshot is the serializable state of a run at an iteration boundary;
+// see Params.Checkpoint/CheckpointEvery, SaveSnapshot and Resume.
+type Snapshot = core.Snapshot
+
+// ErrPoolExhausted reports that failure skips emptied the pool before
+// NMax labels were collected.
+var ErrPoolExhausted = core.ErrPoolExhausted
 
 // Model is the surrogate interface Algorithm 1 uses (implemented by
 // Forest and the Gaussian-process comparator).
@@ -175,10 +225,31 @@ type (
 	EI = core.EI
 )
 
-// Run executes the paper's Algorithm 1.
-func Run(sp *Space, pool []Config, ev Evaluator, strat Strategy, params Params, r *RNG, obs Observer) (*Result, error) {
-	return core.Run(sp, pool, ev, strat, params, r, obs)
+// Run executes the paper's Algorithm 1. Cancelling ctx drains the run
+// at the next boundary and returns the partial Result with an error
+// wrapping ctx.Err().
+func Run(ctx context.Context, sp *Space, pool []Config, ev Evaluator, strat Strategy, params Params, r *RNG, obs Observer) (*Result, error) {
+	return core.Run(ctx, sp, pool, ev, strat, params, r, obs)
 }
+
+// Resume continues a checkpointed run bit-identically from a Snapshot;
+// the caller regenerates the deterministic inputs (space, pool,
+// evaluator, strategy, params) exactly as in the original run.
+func Resume(ctx context.Context, snap *Snapshot, sp *Space, pool []Config, ev Evaluator, strat Strategy, params Params, obs Observer) (*Result, error) {
+	return core.Resume(ctx, snap, sp, pool, ev, strat, params, obs)
+}
+
+// SaveSnapshot writes a snapshot atomically to path (temp file +
+// rename); LoadSnapshot reads it back. Params.Checkpoint set to
+// SnapshotSink(path) persists every periodic checkpoint there.
+func SaveSnapshot(path string, snap *Snapshot) error { return runstate.Save(path, snap) }
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot or SnapshotSink.
+func LoadSnapshot(path string) (*Snapshot, error) { return runstate.Load(path) }
+
+// SnapshotSink returns a Params.Checkpoint function persisting each
+// snapshot atomically to path.
+func SnapshotSink(path string) func(*Snapshot) error { return runstate.FileSink(path) }
 
 // StrategyByName instantiates a registered strategy ("PWU", "PBUS",
 // "BRS", "BestPerf", "MaxU", "Random", "CV").
@@ -242,16 +313,22 @@ func KernelOnPlatform(name string, p *Platform) (Problem, error) {
 	return bench.KernelOn(name, p)
 }
 
+// NoisyEvaluator measures a problem under its noise profile; it
+// implements StatefulEvaluator, so noisy runs checkpoint and resume
+// bit-identically.
+type NoisyEvaluator = bench.NoisyEvaluator
+
 // BenchmarkEvaluator wraps a problem as a noisy Evaluator following the
 // paper's measurement protocol.
-func BenchmarkEvaluator(p Problem, r *RNG) Evaluator { return bench.Evaluator(p, r) }
+func BenchmarkEvaluator(p Problem, r *RNG) *NoisyEvaluator { return bench.Evaluator(p, r) }
 
 // Dataset is a pool/test split with pre-measured test labels.
 type Dataset = dataset.Dataset
 
-// BuildDataset samples and labels a dataset for p.
-func BuildDataset(p Problem, poolSize, testSize int, r *RNG) *Dataset {
-	return dataset.Build(p, poolSize, testSize, r)
+// BuildDataset samples and labels a dataset for p; ctx cancels the test
+// measurements.
+func BuildDataset(ctx context.Context, p Problem, poolSize, testSize int, r *RNG) (*Dataset, error) {
+	return dataset.Build(ctx, p, poolSize, testSize, r)
 }
 
 // ---- Experiment harness (internal/experiment) ----
@@ -270,13 +347,15 @@ func PaperScale() Scale { return experiment.Paper() }
 func QuickScale() Scale { return experiment.Quick() }
 
 // RunStrategy runs averaged repetitions of one strategy on one problem.
-func RunStrategy(p Problem, strategyName string, sc Scale, seed uint64) (*CurveSet, error) {
-	return experiment.RunStrategy(p, strategyName, sc, seed)
+// Cancelling ctx drains the repetition workers and returns the partial
+// curves alongside the error.
+func RunStrategy(ctx context.Context, p Problem, strategyName string, sc Scale, seed uint64) (*CurveSet, error) {
+	return experiment.RunStrategy(ctx, p, strategyName, sc, seed)
 }
 
 // RunAllStrategies runs several strategies on one problem.
-func RunAllStrategies(p Problem, names []string, sc Scale, seed uint64) ([]*CurveSet, error) {
-	return experiment.RunAll(p, names, sc, seed)
+func RunAllStrategies(ctx context.Context, p Problem, names []string, sc Scale, seed uint64) ([]*CurveSet, error) {
+	return experiment.RunAll(ctx, p, names, sc, seed)
 }
 
 // ---- Tuning (internal/tuning) ----
@@ -315,9 +394,11 @@ type AutotuneOutcome = autotune.Outcome
 func DefaultAutotuneConfig() AutotuneConfig { return autotune.Default() }
 
 // Autotune runs the full pipeline: PWU surrogate building, heuristic
-// search over the surrogate, measured verification of the winners.
-func Autotune(p Problem, cfg AutotuneConfig, seed uint64) (*AutotuneOutcome, error) {
-	return autotune.Tune(p, cfg, seed)
+// search over the surrogate, measured verification of the winners. With
+// AutotuneConfig.CheckpointPath set, an interrupted model phase resumes
+// from its snapshot on the next call.
+func Autotune(ctx context.Context, p Problem, cfg AutotuneConfig, seed uint64) (*AutotuneOutcome, error) {
+	return autotune.Tune(ctx, p, cfg, seed)
 }
 
 // SearchResult is a completed heuristic search over a space.
@@ -367,6 +448,6 @@ func DefaultTransferConfig() TransferConfig { return transfer.Default() }
 // RunTransfer runs the paper's future-work portability experiment:
 // reuse a source-platform model to cut target-platform labeling cost.
 // Source and target must share a parameter space.
-func RunTransfer(source, target Problem, cfg TransferConfig, seed uint64) (*TransferResult, error) {
-	return transfer.Run(source, target, cfg, seed)
+func RunTransfer(ctx context.Context, source, target Problem, cfg TransferConfig, seed uint64) (*TransferResult, error) {
+	return transfer.Run(ctx, source, target, cfg, seed)
 }

@@ -2,6 +2,7 @@ package altune_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestCustomSpaceEndToEnd(t *testing.T) {
 		altune.Cat("schedule", "static", "dynamic", "guided"),
 		altune.Bool("pin"),
 	)
-	ev := altune.EvaluatorFunc(func(c altune.Config) float64 {
+	ev := altune.AdaptEvaluator(altune.LegacyEvaluatorFunc(func(c altune.Config) float64 {
 		threads := sp.ValueByName(c, "threads")
 		base := 16 / threads
 		if sp.NameOf(c, sp.IndexOf("schedule")) == "dynamic" {
@@ -25,9 +26,9 @@ func TestCustomSpaceEndToEnd(t *testing.T) {
 			base *= 0.9
 		}
 		return base + 0.1
-	})
+	}))
 	pool := sp.SampleConfigs(altune.NewRNG(1), 60)
-	res, err := altune.Run(sp, pool, ev, altune.PWU{Alpha: 0.1},
+	res, err := altune.Run(context.Background(), sp, pool, ev, altune.PWU{Alpha: 0.1},
 		altune.Params{NInit: 8, NMax: 40, Forest: altune.ForestConfig{NumTrees: 16}},
 		altune.NewRNG(2), nil)
 	if err != nil {
@@ -88,7 +89,10 @@ func TestScalesAndDataset(t *testing.T) {
 		t.Fatalf("paper scale %+v", sc)
 	}
 	p, _ := altune.Benchmark("gesummv")
-	ds := altune.BuildDataset(p, 50, 20, altune.NewRNG(3))
+	ds, err := altune.BuildDataset(context.Background(), p, 50, 20, altune.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ds.Pool) != 50 || len(ds.TestY) != 20 {
 		t.Fatal("dataset sizes wrong")
 	}
@@ -99,7 +103,7 @@ func TestQuickExperimentThroughFacade(t *testing.T) {
 	sc := altune.QuickScale()
 	sc.PoolSize, sc.TestSize, sc.NMax, sc.Reps = 300, 120, 60, 1
 	sc.NBatch, sc.EvalEvery = 10, 25
-	cs, err := altune.RunStrategy(p, "PWU", sc, 1)
+	cs, err := altune.RunStrategy(context.Background(), p, "PWU", sc, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,8 +147,11 @@ func TestGPThroughFacade(t *testing.T) {
 
 func TestGPFitterInRun(t *testing.T) {
 	p, _ := altune.Benchmark("gesummv")
-	ds := altune.BuildDataset(p, 200, 100, altune.NewRNG(21))
-	res, err := altune.Run(p.Space(), ds.Pool,
+	ds, err := altune.BuildDataset(context.Background(), p, 200, 100, altune.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := altune.Run(context.Background(), p.Space(), ds.Pool,
 		altune.BenchmarkEvaluator(p, altune.NewRNG(22)),
 		altune.PWU{Alpha: 0.1},
 		altune.Params{NInit: 10, NBatch: 10, NMax: 50, Fitter: altune.GPFitter(altune.GPConfig{})},
@@ -203,7 +210,7 @@ func TestTransferThroughFacade(t *testing.T) {
 	cfg.TargetBudgets = []int{10, 30}
 	cfg.PoolSize, cfg.TestSize = 300, 150
 	cfg.Forest.NumTrees = 16
-	res, err := altune.RunTransfer(source, target, cfg, 26)
+	res, err := altune.RunTransfer(context.Background(), source, target, cfg, 26)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package altune_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/altune"
@@ -14,15 +15,15 @@ func ExampleRun() {
 		altune.Num("threads", 1, 2, 4, 8),
 		altune.Bool("pin"),
 	)
-	ev := altune.EvaluatorFunc(func(c altune.Config) float64 {
+	ev := altune.AdaptEvaluator(altune.LegacyEvaluatorFunc(func(c altune.Config) float64 {
 		t := 8 / sp.ValueByName(c, "threads")
 		if sp.ValueByName(c, "pin") != 0 {
 			t *= 0.9
 		}
 		return t + 0.1
-	})
+	}))
 	pool := sp.SampleConfigs(altune.NewRNG(1), 50)
-	res, err := altune.Run(sp, pool, ev, altune.PWU{Alpha: 0.1},
+	res, err := altune.Run(context.Background(), sp, pool, ev, altune.PWU{Alpha: 0.1},
 		altune.Params{NInit: 5, NBatch: 5, NMax: 25,
 			Forest: altune.ForestConfig{NumTrees: 16}},
 		altune.NewRNG(2), nil)

@@ -12,6 +12,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -33,6 +34,27 @@ import (
 	"repro/internal/tree"
 	"repro/internal/tuning"
 )
+
+// buildDataset is dataset.Build under a background context, fatal on
+// error — measurement in the simulated benchmarks cannot fail.
+func buildDataset(b *testing.B, p bench.Problem, poolSize, testSize int, r *rng.RNG) *dataset.Dataset {
+	b.Helper()
+	ds, err := dataset.Build(context.Background(), p, poolSize, testSize, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// mustEval labels one configuration under a background context.
+func mustEval(b *testing.B, ev core.Evaluator, c space.Config) float64 {
+	b.Helper()
+	y, err := ev.Evaluate(context.Background(), c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return y
+}
 
 // figScale is the per-benchmark-iteration experiment scale.
 func figScale() experiment.Scale {
@@ -100,7 +122,7 @@ func BenchmarkFig2KernelRMSE(b *testing.B) {
 		var fracSum float64
 		var n int
 		for _, p := range bench.Kernels() {
-			cs, err := experiment.RunAll(p, core.StrategyNames(), sc, 42)
+			cs, err := experiment.RunAll(context.Background(), p, core.StrategyNames(), sc, 42)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -126,7 +148,7 @@ func BenchmarkFig3KernelCC(b *testing.B) {
 		var ratioSum float64
 		var n int
 		for _, p := range bench.Kernels()[:4] { // representative subset per iteration
-			cs, err := experiment.RunAll(p, []string{"BestPerf", "MaxU"}, sc, 43)
+			cs, err := experiment.RunAll(context.Background(), p, []string{"BestPerf", "MaxU"}, sc, 43)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -145,7 +167,7 @@ func BenchmarkFig4Applications(b *testing.B) {
 	sc := figScale()
 	for i := 0; i < b.N; i++ {
 		for _, p := range bench.Applications() {
-			if _, err := experiment.RunAll(p, []string{"PWU", "PBUS", "Random"}, sc, 44); err != nil {
+			if _, err := experiment.RunAll(context.Background(), p, []string{"PWU", "PBUS", "Random"}, sc, 44); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -162,7 +184,7 @@ func BenchmarkFig5RMSEvsCost(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		cs, err := experiment.RunAll(p, []string{"PWU", "PBUS"}, sc, 45)
+		cs, err := experiment.RunAll(context.Background(), p, []string{"PWU", "PBUS"}, sc, 45)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -184,7 +206,7 @@ func BenchmarkFig6AlphaSweep(b *testing.B) {
 		for _, alpha := range []float64{0.01, 0.05, 0.10} {
 			sc := figScale()
 			sc.Alpha = alpha
-			if _, err := experiment.RunAll(p, []string{"PWU", "PBUS"}, sc, 46); err != nil {
+			if _, err := experiment.RunAll(context.Background(), p, []string{"PWU", "PBUS"}, sc, 46); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -197,7 +219,7 @@ func BenchmarkFig7Speedup(b *testing.B) {
 	sc := figScale()
 	problems := append(bench.Kernels()[:4], bench.Applications()...)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.PWUSpeedups(problems, sc, 47)
+		rows, err := experiment.PWUSpeedups(context.Background(), problems, sc, 47)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -225,8 +247,8 @@ func BenchmarkFig8SurrogateTuning(b *testing.B) {
 	sc := figScale()
 	for i := 0; i < b.N; i++ {
 		r := rng.New(48)
-		ds := dataset.Build(p, sc.PoolSize, sc.TestSize, r.Split())
-		res, err := core.Run(p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: sc.Alpha},
+		ds := buildDataset(b, p, sc.PoolSize, sc.TestSize, r.Split())
+		res, err := core.Run(context.Background(), p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: sc.Alpha},
 			core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax, Forest: sc.Forest}, r.Split(), nil)
 		if err != nil {
 			b.Fatal(err)
@@ -258,7 +280,7 @@ func BenchmarkFig9SelectionScatter(b *testing.B) {
 	}
 	sc := figScale()
 	for i := 0; i < b.N; i++ {
-		s, err := experiment.SelectionScatter(p, "PWU", sc, 50)
+		s, err := experiment.SelectionScatter(context.Background(), p, "PWU", sc, 50)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -270,7 +292,7 @@ func BenchmarkFig9SelectionScatter(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(hi)/float64(len(s.SelSigma)), "pwu_high_sigma_frac")
-		if _, err := experiment.SelectionScatter(p, "PBUS", sc, 50); err != nil {
+		if _, err := experiment.SelectionScatter(context.Background(), p, "PBUS", sc, 50); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -285,7 +307,7 @@ func ablationRun(b *testing.B, sc experiment.Scale, strategyName string, seed ui
 	if err != nil {
 		b.Fatal(err)
 	}
-	cs, err := experiment.RunStrategy(p, strategyName, sc, seed)
+	cs, err := experiment.RunStrategy(context.Background(), p, strategyName, sc, seed)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -383,8 +405,8 @@ func BenchmarkAblationGPSurrogate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		run := func(fitter core.Fitter) float64 {
 			r := rng.New(60)
-			ds := dataset.Build(p, sc.PoolSize, sc.TestSize, r.Split())
-			res, err := core.Run(p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: sc.Alpha},
+			ds := buildDataset(b, p, sc.PoolSize, sc.TestSize, r.Split())
+			res, err := core.Run(context.Background(), p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: sc.Alpha},
 				core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax, Forest: sc.Forest, Fitter: fitter}, r.Split(), nil)
 			if err != nil {
 				b.Fatal(err)
@@ -422,8 +444,8 @@ func BenchmarkAblationWarmUpdate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		run := func(warm bool) float64 {
 			r := rng.New(62)
-			ds := dataset.Build(p, sc.PoolSize, sc.TestSize, r.Split())
-			res, err := core.Run(p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: sc.Alpha},
+			ds := buildDataset(b, p, sc.PoolSize, sc.TestSize, r.Split())
+			res, err := core.Run(context.Background(), p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: sc.Alpha},
 				core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax, Forest: sc.Forest, WarmUpdate: warm}, r.Split(), nil)
 			if err != nil {
 				b.Fatal(err)
@@ -447,13 +469,13 @@ func BenchmarkAblationLHSPool(b *testing.B) {
 	sp := p.Space()
 	for i := 0; i < b.N; i++ {
 		r := rng.New(63)
-		ds := dataset.Build(p, 200, 400, r.Split())
+		ds := buildDataset(b, p, 200, 400, r.Split())
 		ev := bench.Evaluator(p, r.Split())
 		fit := func(configs []space.Config) float64 {
 			X := sp.EncodeAll(configs)
 			y := make([]float64, len(configs))
 			for j, c := range configs {
-				y[j] = ev.Evaluate(c)
+				y[j] = mustEval(b, ev, c)
 			}
 			f, err := forest.Fit(X, y, sp.Features(), forest.Config{NumTrees: 32}, r.Split())
 			if err != nil {
@@ -488,7 +510,7 @@ func BenchmarkExtensionTransfer(b *testing.B) {
 	cfg.TargetBudgets = []int{10, 40}
 	cfg.Forest.NumTrees = 32
 	for i := 0; i < b.N; i++ {
-		res, err := transfer.Run(source, target, cfg, 64)
+		res, err := transfer.Run(context.Background(), source, target, cfg, 64)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -508,10 +530,10 @@ func BenchmarkAblationCalibration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, u := range []forest.UncertaintyKind{forest.BetweenTrees, forest.TotalVariance} {
 			r := rng.New(70)
-			ds := dataset.Build(p, sc.PoolSize, sc.TestSize, r.Split())
+			ds := buildDataset(b, p, sc.PoolSize, sc.TestSize, r.Split())
 			fc := sc.Forest
 			fc.Uncertainty = u
-			res, err := core.Run(p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: sc.Alpha},
+			res, err := core.Run(context.Background(), p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: sc.Alpha},
 				core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax, Forest: fc}, r.Split(), nil)
 			if err != nil {
 				b.Fatal(err)
@@ -675,7 +697,7 @@ func inferenceSetup(b *testing.B) (*forest.Forest, [][]float64) {
 	X := sp.EncodeAll(train)
 	y := make([]float64, len(train))
 	for i, c := range train {
-		y[i] = ev.Evaluate(c)
+		y[i] = mustEval(b, ev, c)
 	}
 	f, err := forest.Fit(X, y, sp.Features(), forest.Config{NumTrees: 64}, r.Split())
 	if err != nil {

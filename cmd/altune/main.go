@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/experiment"
@@ -24,6 +27,9 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	benchName := flag.String("bench", "atax", "benchmark name ("+strings.Join(bench.Names(), ", ")+")")
 	strategy := flag.String("strategy", "PWU", "sampling strategy (PWU, PBUS, BRS, BestPerf, MaxU, Random)")
 	alpha := flag.Float64("alpha", 0.05, "high-performance proportion for PWU and RMSE@alpha")
@@ -57,9 +63,12 @@ func main() {
 	fmt.Printf("space: %d parameters, log10 size %.1f; platform %s; alpha %.2f; %d reps\n\n",
 		p.Space().NumParams(), p.Space().LogCardinality(), p.Platform().Name, sc.Alpha, sc.Reps)
 
-	results, err := experiment.RunAll(p, names, sc, *seed)
-	if err != nil {
+	results, err := experiment.RunAll(ctx, p, names, sc, *seed)
+	if err != nil && len(results) == 0 {
 		fatal(err)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "altune: interrupted; showing partial curves:", err)
 	}
 
 	if *compare {
@@ -88,6 +97,9 @@ func main() {
 		fmt.Println()
 		fmt.Print(textplot.LinePlot(
 			fmt.Sprintf("%s: RMSE@%.2f vs #samples", p.Name(), sc.Alpha), series, 72, 18, true))
+	}
+	if err != nil {
+		os.Exit(1)
 	}
 }
 

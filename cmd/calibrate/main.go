@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/calibration"
@@ -25,6 +28,9 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	benchName := flag.String("bench", "atax", "benchmark ("+strings.Join(bench.Names(), ", ")+")")
 	labels := flag.Int("labels", 200, "training labels (PWU active learning)")
 	seed := flag.Uint64("seed", 42, "root seed")
@@ -51,8 +57,11 @@ func main() {
 	}
 	for _, v := range variants {
 		r := rng.New(*seed)
-		ds := dataset.Build(p, 1500, 600, r.Split())
-		res, err := core.Run(p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: 0.05},
+		ds, err := dataset.Build(ctx, p, 1500, 600, r.Split())
+		if err != nil {
+			fatal(err)
+		}
+		res, err := core.Run(ctx, p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: 0.05},
 			core.Params{NInit: 10, NBatch: 5, NMax: *labels, Fitter: v.fitter}, r.Split(), nil)
 		if err != nil {
 			fatal(err)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-scale quick|paper] [-only fig2,fig7,table1] [-out out] [-seed 42]
+//	figures [-scale quick|paper] [-only fig2,fig7,telemetry] [-out out] [-seed 42]
 //
 // At -scale quick (the default) each figure takes seconds to minutes and
 // preserves the paper's qualitative shape; -scale paper runs the full
@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/experiment"
@@ -25,8 +28,11 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
-	only := flag.String("only", "", "comma-separated subset (table1..table4, fig2..fig9); empty = all")
+	only := flag.String("only", "", "comma-separated subset (table1..table4, fig2..fig9, telemetry); empty = all")
 	outDir := flag.String("out", "out", "output directory")
 	seed := flag.Uint64("seed", 42, "root seed")
 	flag.Parse()
@@ -58,6 +64,7 @@ func main() {
 	}
 
 	gen := figures.Generator{
+		Ctx:      ctx,
 		Scale:    sc,
 		Seed:     *seed,
 		OutDir:   *outDir,
@@ -83,6 +90,7 @@ func main() {
 		{"fig7", gen.Fig7},
 		{"fig8", gen.Fig8},
 		{"fig9", gen.Fig9},
+		{"telemetry", gen.Telemetry},
 	}
 	for _, a := range artifacts {
 		if !selected(a.name) {

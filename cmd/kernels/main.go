@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/rng"
 	"repro/internal/spapt"
@@ -21,6 +24,10 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	_ = ctx // the inspections are instantaneous; ctx reserved for future measured sweeps
+
 	kernel := flag.String("kernel", "", "kernel name; empty lists the suite")
 	table := flag.Bool("table", false, "print the kernel's parameter table")
 	source := flag.Bool("source", false, "print the kernel's reference computation code")

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/dataset"
@@ -20,6 +23,9 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	benchName := flag.String("bench", "", "benchmark to sample")
 	all := flag.Bool("all", false, "generate datasets for every benchmark")
 	poolSize := flag.Int("pool", 7000, "pool size")
@@ -35,7 +41,7 @@ func main() {
 		}
 		for _, p := range bench.All() {
 			path := filepath.Join(*dir, p.Name()+".csv")
-			if err := writeDataset(p, *poolSize, *testSize, rng.Mix(*seed, hash(p.Name())), path); err != nil {
+			if err := writeDataset(ctx, p, *poolSize, *testSize, rng.Mix(*seed, hash(p.Name())), path); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("wrote %s\n", path)
@@ -54,14 +60,17 @@ func main() {
 	if path == "" {
 		path = p.Name() + ".csv"
 	}
-	if err := writeDataset(p, *poolSize, *testSize, *seed, path); err != nil {
+	if err := writeDataset(ctx, p, *poolSize, *testSize, *seed, path); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d pool + %d test rows)\n", path, *poolSize, *testSize)
 }
 
-func writeDataset(p bench.Problem, poolSize, testSize int, seed uint64, path string) error {
-	ds := dataset.Build(p, poolSize, testSize, rng.New(seed))
+func writeDataset(ctx context.Context, p bench.Problem, poolSize, testSize int, seed uint64, path string) error {
+	ds, err := dataset.Build(ctx, p, poolSize, testSize, rng.New(seed))
+	if err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

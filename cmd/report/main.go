@@ -7,14 +7,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/report"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	_ = ctx // report generation is file-bound and instantaneous
+
 	dir := flag.String("dir", "out", "cmd/figures output directory")
 	out := flag.String("o", "", "write to file instead of stdout")
 	flag.Parse()

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/machine"
@@ -31,6 +34,9 @@ func platformByName(name string) (*machine.Platform, error) {
 }
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	kernel := flag.String("kernel", "atax", "SPAPT kernel to transfer")
 	from := flag.String("from", "A", "source platform (A, B, C)")
 	to := flag.String("to", "C", "target platform (A, B, C)")
@@ -63,7 +69,7 @@ func main() {
 	warm := make([]float64, len(cfg.TargetBudgets))
 	var zeroShot float64
 	for rep := 0; rep < *reps; rep++ {
-		res, err := transfer.Run(source, target, cfg, *seed+uint64(rep))
+		res, err := transfer.Run(ctx, source, target, cfg, *seed+uint64(rep))
 		if err != nil {
 			fatal(err)
 		}

@@ -6,25 +6,42 @@
 // Usage:
 //
 //	tune -bench atax [-budget 200] [-searcher anneal] [-verify 5] [-seed 42]
+//	     [-checkpoint tune.ckpt] [-every 10] [-retries 2]
+//
+// With -checkpoint, the expensive model-building phase is resumable:
+// SIGINT drains the current measurement, writes a snapshot, and exits;
+// re-running the same command continues bit-identically from the
+// snapshot instead of restarting the phase.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/autotune"
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	benchName := flag.String("bench", "atax", "benchmark ("+strings.Join(bench.Names(), ", ")+")")
 	budget := flag.Int("budget", 200, "real program runs for the surrogate")
 	searchBudget := flag.Int("search", 20000, "free surrogate evaluations for the searcher")
 	searcher := flag.String("searcher", "anneal", "surrogate searcher: random, hill, anneal")
 	verify := flag.Int("verify", 5, "top candidates re-measured before the final pick")
 	seed := flag.Uint64("seed", 42, "root seed")
+	checkpoint := flag.String("checkpoint", "", "snapshot file making the model phase resumable")
+	every := flag.Int("every", 10, "iterations between snapshots (with -checkpoint)")
+	retries := flag.Int("retries", 0, "retry budget per failed measurement")
 	flag.Parse()
 
 	p, err := bench.ByName(*benchName)
@@ -36,13 +53,25 @@ func main() {
 	cfg.SearchBudget = *searchBudget
 	cfg.Searcher = *searcher
 	cfg.Verify = *verify
+	cfg.CheckpointPath = *checkpoint
+	cfg.CheckpointEvery = *every
+	cfg.Failure = core.FailurePolicy{MaxRetries: *retries, Backoff: 100 * time.Millisecond, MaxBackoff: 5 * time.Second}
 
 	fmt.Printf("tuning %s (%s)\n", p.Name(), p.Description())
 	fmt.Printf("pipeline: %d real runs -> %s search x %d -> verify %d\n\n",
 		cfg.ModelBudget, cfg.Searcher, cfg.SearchBudget, cfg.Verify)
+	if *checkpoint != "" {
+		if _, err := os.Stat(*checkpoint); err == nil {
+			fmt.Printf("resuming model phase from %s\n\n", *checkpoint)
+		}
+	}
 
-	out, err := autotune.Tune(p, cfg, *seed)
+	out, err := autotune.Tune(ctx, p, cfg, *seed)
 	if err != nil {
+		if ctx.Err() != nil && *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "tune: interrupted; progress saved, rerun the same command to resume from %s\n", *checkpoint)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. Describe the tunable parameters.
 	sp := altune.MustNewSpace(
 		altune.Num("block", 8, 16, 32, 64, 128, 256),
@@ -33,8 +35,10 @@ func main() {
 		sp.NumParams(), cardinality(sp))
 
 	// 2. Provide the annotator. Replace the body with "run the program,
-	// return wall seconds" for a real application.
-	ev := altune.EvaluatorFunc(func(c altune.Config) float64 {
+	// return wall seconds" for a real application. A plain func(Config)
+	// float64 adapts into the context-aware Evaluator interface; measure
+	// functions that can fail or block implement Evaluator directly.
+	measure := func(c altune.Config) float64 {
 		block := sp.ValueByName(c, "block")
 		threads := sp.ValueByName(c, "threads")
 		placement := sp.NameOf(c, sp.IndexOf("placement"))
@@ -54,12 +58,13 @@ func main() {
 			t *= 0.93
 		}
 		return t + 0.05
-	})
+	}
+	ev := altune.AdaptEvaluator(altune.LegacyEvaluatorFunc(measure))
 
 	// 3. Active learning with PWU.
 	pool := sp.SampleConfigs(altune.NewRNG(1), 2000)
 	var history []int
-	res, err := altune.Run(sp, pool, ev, altune.PWU{Alpha: 0.05},
+	res, err := altune.Run(ctx, sp, pool, ev, altune.PWU{Alpha: 0.05},
 		altune.Params{NInit: 10, NBatch: 5, NMax: 120,
 			Forest: altune.ForestConfig{NumTrees: 48}},
 		altune.NewRNG(2),
@@ -82,7 +87,7 @@ func main() {
 	}
 	fmt.Printf("\nrecommended: %s\n", sp.String(pool[best]))
 	fmt.Printf("predicted %.3f s (sigma %.3f), actual %.3f s, default (first sample) %.3f s\n",
-		bestV, sigma[best], ev.Evaluate(pool[best]), res.TrainY[0])
+		bestV, sigma[best], measure(pool[best]), res.TrainY[0])
 
 	// 5. Which parameters did the model find important? FeatureUsage is
 	// forest-specific, so assert down from the surrogate interface.

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	source, err := altune.Benchmark("atax") // Platform A original
 	if err != nil {
 		log.Fatal(err)
@@ -43,7 +45,7 @@ func main() {
 	warm := make([]float64, len(cfg.TargetBudgets))
 	var zeroShot float64
 	for rep := 0; rep < reps; rep++ {
-		res, err := altune.RunTransfer(source, target, cfg, 2026+uint64(rep))
+		res, err := altune.RunTransfer(ctx, source, target, cfg, 2026+uint64(rep))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	for _, name := range []string{"kripke", "hypre"} {
 		p, err := altune.Benchmark(name)
 		if err != nil {
@@ -34,7 +36,7 @@ func main() {
 
 		fmt.Printf("%-10s %14s %16s %18s\n", "strategy", "RMSE@0.05 (s)", "labels used", "machine time (s)")
 		for _, strat := range []string{"PWU", "PBUS", "Random"} {
-			cs, err := altune.RunStrategy(p, strat, sc, 7)
+			cs, err := altune.RunStrategy(ctx, p, strat, sc, 7)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -45,8 +47,11 @@ func main() {
 
 		// What does the model say the best configuration is?
 		r := altune.NewRNG(11)
-		ds := altune.BuildDataset(p, 1000, 300, r)
-		res, err := altune.Run(p.Space(), ds.Pool,
+		ds, err := altune.BuildDataset(ctx, p, 1000, 300, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := altune.Run(ctx, p.Space(), ds.Pool,
 			altune.BenchmarkEvaluator(p, altune.NewRNG(12)),
 			altune.PWU{Alpha: 0.05},
 			altune.Params{NInit: 10, NBatch: 5, NMax: 120,

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Pick a benchmark: the atax kernel (y = Aᵀ(Ax)) with its SPAPT
 	// compilation-parameter search space.
 	p, err := altune.Benchmark("atax")
@@ -28,13 +30,16 @@ func main() {
 	// Sample a data pool and a held-out test set (the paper uses
 	// 7000/3000; a tenth of that is plenty for a quickstart).
 	r := altune.NewRNG(42)
-	ds := altune.BuildDataset(p, 700, 300, r)
+	ds, err := altune.BuildDataset(ctx, p, 700, 300, r)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Run Algorithm 1 with the paper's PWU strategy: 10 cold-start
 	// samples, then one batch of 10 per iteration up to 150 labels.
 	alpha := 0.05
 	res, err := altune.Run(
-		p.Space(), ds.Pool,
+		ctx, p.Space(), ds.Pool,
 		altune.BenchmarkEvaluator(p, altune.NewRNG(7)),
 		altune.PWU{Alpha: alpha},
 		altune.Params{NInit: 10, NBatch: 10, NMax: 150,

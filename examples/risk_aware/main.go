@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -34,7 +35,10 @@ func main() {
 	X := sp.EncodeAll(train)
 	y := make([]float64, len(train))
 	for i, c := range train {
-		y[i] = ev.Evaluate(c)
+		y[i], err = ev.Evaluate(context.Background(), c)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// KeepTargets turns every leaf into an empirical distribution.

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := altune.Benchmark("atax")
 	if err != nil {
 		log.Fatal(err)
@@ -29,12 +31,15 @@ func main() {
 	for _, strat := range []string{"PBUS", "PWU"} {
 		// Run Algorithm 1 with selection recording.
 		r := altune.NewRNG(99)
-		ds := altune.BuildDataset(p, 1200, 300, r)
+		ds, err := altune.BuildDataset(ctx, p, 1200, 300, r)
+		if err != nil {
+			log.Fatal(err)
+		}
 		strategy, err := altune.StrategyByName(strat, 0.05)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := altune.Run(p.Space(), ds.Pool,
+		res, err := altune.Run(ctx, p.Space(), ds.Pool,
 			altune.BenchmarkEvaluator(p, altune.NewRNG(100)),
 			strategy,
 			altune.Params{NInit: 10, NBatch: 5, NMax: 150,

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p, err := altune.Benchmark("atax")
 	if err != nil {
 		log.Fatal(err)
@@ -25,9 +27,12 @@ func main() {
 	// Phase 1: active learning builds the surrogate. This is the only
 	// part that pays real execution cost.
 	r := altune.NewRNG(2024)
-	ds := altune.BuildDataset(p, 1500, 500, r)
+	ds, err := altune.BuildDataset(ctx, p, 1500, 500, r)
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := altune.Run(
-		p.Space(), ds.Pool,
+		ctx, p.Space(), ds.Pool,
 		altune.BenchmarkEvaluator(p, altune.NewRNG(1)),
 		altune.PWU{Alpha: 0.05},
 		altune.Params{NInit: 10, NBatch: 5, NMax: 250,

@@ -6,6 +6,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -41,7 +42,7 @@ func TestPWUBeatsPBUSOnMostKernels(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cs, err := experiment.RunAll(p, []string{"PWU", "PBUS"}, sc, 101)
+		cs, err := experiment.RunAll(context.Background(), p, []string{"PWU", "PBUS"}, sc, 101)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func TestExploitOnlySamplersAreCheapButInaccurate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs, err := experiment.RunAll(p, []string{"BestPerf", "MaxU"}, sc, 102)
+	cs, err := experiment.RunAll(context.Background(), p, []string{"BestPerf", "MaxU"}, sc, 102)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestFig9ShapePWUExploresMoreThanPBUS(t *testing.T) {
 		t.Fatal(err)
 	}
 	frac := func(strategy string) float64 {
-		s, err := experiment.SelectionScatter(p, strategy, sc, 103)
+		s, err := experiment.SelectionScatter(context.Background(), p, strategy, sc, 103)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,8 +119,11 @@ func TestEndToEndModelPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := rng.New(104)
-	ds := dataset.Build(p, 400, 200, r.Split())
-	res, err := core.Run(p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: 0.05},
+	ds, err := dataset.Build(context.Background(), p, 400, 200, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(context.Background(), p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: 0.05},
 		core.Params{NInit: 10, NBatch: 10, NMax: 80, Forest: forest.Config{NumTrees: 16}}, r.Split(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +166,7 @@ func TestWorkerCountDoesNotChangeResults(t *testing.T) {
 		sc := integrationScale()
 		sc.Workers = workers
 		sc.Forest.Workers = workers
-		cs, err := experiment.RunStrategy(p, "PWU", sc, 105)
+		cs, err := experiment.RunStrategy(context.Background(), p, "PWU", sc, 105)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,12 +193,15 @@ func TestNoisyLabelsStillConverge(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := rng.New(106)
-	ds := dataset.Build(p, 500, 250, r.Split())
+	ds, err := dataset.Build(context.Background(), p, 500, 250, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
 	nr := r.Split()
-	ev := core.EvaluatorFunc(func(c space.Config) float64 {
+	ev := core.AdaptEvaluator(core.LegacyEvaluatorFunc(func(c space.Config) float64 {
 		return p.TrueTime(c) * nr.LogNormal(-0.5*0.3*0.3, 0.3)
-	})
-	res, err := core.Run(p.Space(), ds.Pool, ev, core.PWU{Alpha: 0.1},
+	}))
+	res, err := core.Run(context.Background(), p.Space(), ds.Pool, ev, core.PWU{Alpha: 0.1},
 		core.Params{NInit: 10, NBatch: 10, NMax: 120, Forest: forest.Config{NumTrees: 32}}, r.Split(), nil)
 	if err != nil {
 		t.Fatal(err)

@@ -11,7 +11,9 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"sort"
 
 	"repro/internal/bench"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/runstate"
 	"repro/internal/search"
 	"repro/internal/space"
 )
@@ -49,6 +52,22 @@ type Config struct {
 	// Verify is the number of distinct top candidates re-measured with
 	// real runs before the final pick.
 	Verify int
+
+	// Failure is the run engine's policy for transiently failing
+	// measurements during the model phase (retry/skip/abort).
+	Failure core.FailurePolicy
+
+	// CheckpointPath, when non-empty, makes the model phase resumable:
+	// a snapshot is written atomically to this path every
+	// CheckpointEvery iterations (default 10) and on a drained
+	// cancellation. When Tune starts and a snapshot already exists at
+	// the path, the model phase resumes from it bit-identically instead
+	// of starting over; the file is removed once the phase completes.
+	CheckpointPath string
+
+	// CheckpointEvery is the snapshot cadence in iterations; <= 0 means
+	// every 10.
+	CheckpointEvery int
 }
 
 // Default returns a balanced configuration.
@@ -91,13 +110,19 @@ type Outcome struct {
 	PredictedBest float64
 }
 
-// Tune runs the full pipeline on problem p.
-func Tune(p bench.Problem, cfg Config, seed uint64) (*Outcome, error) {
+// Tune runs the full pipeline on problem p. Cancelling ctx drains the
+// current measurement and returns the ctx error; with a CheckpointPath
+// configured, the interrupted model phase leaves a snapshot behind and a
+// rerun of Tune with the same inputs resumes from it bit-identically.
+func Tune(ctx context.Context, p bench.Problem, cfg Config, seed uint64) (*Outcome, error) {
 	if cfg.ModelBudget < 20 {
 		return nil, fmt.Errorf("autotune: model budget %d too small", cfg.ModelBudget)
 	}
 	if cfg.Verify < 1 {
 		return nil, fmt.Errorf("autotune: verify count %d", cfg.Verify)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	searcher, err := search.ByName(cfg.Searcher)
 	if err != nil {
@@ -107,12 +132,48 @@ func Tune(p bench.Problem, cfg Config, seed uint64) (*Outcome, error) {
 	sp := p.Space()
 	ev := bench.Evaluator(p, r.Split())
 
-	// Phase 1: surrogate via PWU active learning.
+	// Phase 1: surrogate via PWU active learning. Every input below is
+	// regenerated deterministically from the seed, which is what lets a
+	// resumed phase validate the pool fingerprint and continue the
+	// exact run.
 	pool := sp.SampleConfigs(r.Split(), cfg.PoolSize)
-	res, err := core.Run(sp, pool, ev, core.PWU{Alpha: cfg.Alpha},
-		core.Params{NInit: 10, NBatch: 5, NMax: cfg.ModelBudget, Forest: cfg.Forest}, r.Split(), nil)
+	params := core.Params{
+		NInit: 10, NBatch: 5, NMax: cfg.ModelBudget,
+		Forest: cfg.Forest, Failure: cfg.Failure,
+	}
+	if cfg.CheckpointPath != "" {
+		params.CheckpointEvery = cfg.CheckpointEvery
+		if params.CheckpointEvery <= 0 {
+			params.CheckpointEvery = 10
+		}
+		params.Checkpoint = runstate.FileSink(cfg.CheckpointPath)
+	}
+	strat := core.PWU{Alpha: cfg.Alpha}
+
+	var res *core.Result
+	loopR := r.Split() // consumed even on resume, to keep later phases' streams aligned
+	if cfg.CheckpointPath != "" {
+		if _, statErr := os.Stat(cfg.CheckpointPath); statErr == nil {
+			snap, loadErr := runstate.Load(cfg.CheckpointPath)
+			if loadErr != nil {
+				return nil, fmt.Errorf("autotune: loading checkpoint: %w", loadErr)
+			}
+			res, err = core.Resume(ctx, snap, sp, pool, ev, strat, params, nil)
+		} else {
+			res, err = core.Run(ctx, sp, pool, ev, strat, params, loopR, nil)
+		}
+	} else {
+		res, err = core.Run(ctx, sp, pool, ev, strat, params, loopR, nil)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("autotune: model phase: %w", err)
+	}
+	if cfg.CheckpointPath != "" {
+		// The phase completed; a stale snapshot would otherwise make
+		// the next fresh run resume into an already-finished loop.
+		if rmErr := os.Remove(cfg.CheckpointPath); rmErr != nil && !os.IsNotExist(rmErr) {
+			return nil, fmt.Errorf("autotune: clearing checkpoint: %w", rmErr)
+		}
 	}
 	out := &Outcome{
 		ModelCost: metrics.CumulativeCost(res.TrainY),
@@ -133,7 +194,10 @@ func Tune(p bench.Problem, cfg Config, seed uint64) (*Outcome, error) {
 	candidates := topCandidates(sp, model, sres, res, cfg.Verify)
 	bestV := 0.0
 	for i, c := range candidates {
-		v := ev.Evaluate(c)
+		v, err := ev.Evaluate(ctx, c)
+		if err != nil {
+			return nil, fmt.Errorf("autotune: verify phase: %w", err)
+		}
 		out.RealRuns++
 		if i == 0 || v < bestV {
 			bestV = v
@@ -144,7 +208,10 @@ func Tune(p bench.Problem, cfg Config, seed uint64) (*Outcome, error) {
 	out.PredictedBest = obj(out.Best)
 
 	baseline := make(space.Config, sp.NumParams())
-	out.BaselineMeasured = ev.Evaluate(baseline)
+	out.BaselineMeasured, err = ev.Evaluate(ctx, baseline)
+	if err != nil {
+		return nil, fmt.Errorf("autotune: baseline measurement: %w", err)
+	}
 	out.RealRuns++
 	if out.BestMeasured > 0 {
 		out.Speedup = out.BaselineMeasured / out.BestMeasured

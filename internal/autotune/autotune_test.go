@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -26,17 +27,17 @@ func TestValidation(t *testing.T) {
 	}
 	cfg := smallCfg()
 	cfg.ModelBudget = 5
-	if _, err := Tune(p, cfg, 1); err == nil {
+	if _, err := Tune(context.Background(), p, cfg, 1); err == nil {
 		t.Fatal("tiny model budget accepted")
 	}
 	cfg = smallCfg()
 	cfg.Verify = 0
-	if _, err := Tune(p, cfg, 1); err == nil {
+	if _, err := Tune(context.Background(), p, cfg, 1); err == nil {
 		t.Fatal("zero verify accepted")
 	}
 	cfg = smallCfg()
 	cfg.Searcher = "bogus"
-	if _, err := Tune(p, cfg, 1); err == nil {
+	if _, err := Tune(context.Background(), p, cfg, 1); err == nil {
 		t.Fatal("unknown searcher accepted")
 	}
 }
@@ -46,7 +47,7 @@ func TestTuneBeatsRandomSample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Tune(p, smallCfg(), 2)
+	out, err := Tune(context.Background(), p, smallCfg(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,11 +74,11 @@ func TestTuneBeatsRandomSample(t *testing.T) {
 
 func TestTuneDeterministic(t *testing.T) {
 	p, _ := bench.ByName("mvt")
-	a, err := Tune(p, smallCfg(), 4)
+	a, err := Tune(context.Background(), p, smallCfg(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Tune(p, smallCfg(), 4)
+	b, err := Tune(context.Background(), p, smallCfg(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestAllSearchersWork(t *testing.T) {
 		cfg := smallCfg()
 		cfg.Searcher = s
 		cfg.SearchBudget = 1500
-		out, err := Tune(p, cfg, 5)
+		out, err := Tune(context.Background(), p, cfg, 5)
 		if err != nil {
 			t.Fatalf("%s: %v", s, err)
 		}
@@ -105,7 +106,7 @@ func TestAllSearchersWork(t *testing.T) {
 func TestWorksOnApplications(t *testing.T) {
 	p, _ := bench.ByName("kripke")
 	cfg := smallCfg()
-	out, err := Tune(p, cfg, 6)
+	out, err := Tune(context.Background(), p, cfg, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

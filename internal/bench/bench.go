@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -121,18 +122,49 @@ func KernelOn(name string, p *machine.Platform) (Problem, error) {
 	return kernelProblem{k.WithPlatform(p)}, nil
 }
 
+// NoisyEvaluator measures a problem's configurations under its noise
+// profile, drawing noise from an internal generator. It implements
+// core.StatefulEvaluator: the noise stream position can be exported into
+// a run snapshot and restored on resume, so interrupted noisy runs
+// continue bit-identically.
+type NoisyEvaluator struct {
+	p Problem
+	n noise.Model
+	r *rng.RNG
+}
+
+// Evaluate simulates the full §III-B protocol (repeated runs, averaged)
+// for one configuration. The simulated measurement itself cannot fail;
+// cancellation is honored between measurements.
+func (e *NoisyEvaluator) Evaluate(ctx context.Context, c space.Config) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return e.n.Measure(e.p.TrueTime(c), e.r), nil
+}
+
+// EvaluatorState exports the noise generator's stream position.
+func (e *NoisyEvaluator) EvaluatorState() rng.State { return e.r.State() }
+
+// RestoreEvaluatorState rewinds the noise stream to an exported state.
+func (e *NoisyEvaluator) RestoreEvaluatorState(st rng.State) error {
+	r, err := rng.FromState(st)
+	if err != nil {
+		return err
+	}
+	e.r = r
+	return nil
+}
+
 // Evaluator returns a core.Evaluator that measures p's configurations
 // under its noise profile, drawing noise from r. Each Evaluate call
 // simulates the full §III-B protocol (repeated runs, averaged).
-func Evaluator(p Problem, r *rng.RNG) core.Evaluator {
-	n := p.Noise()
-	return core.EvaluatorFunc(func(c space.Config) float64 {
-		return n.Measure(p.TrueTime(c), r)
-	})
+func Evaluator(p Problem, r *rng.RNG) *NoisyEvaluator {
+	return &NoisyEvaluator{p: p, n: p.Noise(), r: r}
 }
 
 // TrueEvaluator returns a noise-free evaluator for p (used by ablations
 // and the tuning ground truth).
 func TrueEvaluator(p Problem) core.Evaluator {
-	return core.EvaluatorFunc(p.TrueTime)
+	return core.AdaptEvaluator(core.LegacyEvaluatorFunc(p.TrueTime))
 }

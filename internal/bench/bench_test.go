@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -73,7 +74,10 @@ func TestEvaluatorNoisyButClose(t *testing.T) {
 	c := p.Space().SampleConfig(r)
 	truth := p.TrueTime(c)
 	ev := Evaluator(p, rng.New(2))
-	got := ev.Evaluate(c)
+	got, err := ev.Evaluate(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got == truth {
 		t.Fatal("evaluator returned noise-free value")
 	}
@@ -85,7 +89,11 @@ func TestEvaluatorNoisyButClose(t *testing.T) {
 func TestTrueEvaluatorExact(t *testing.T) {
 	p, _ := ByName("mm")
 	c := p.Space().SampleConfig(rng.New(3))
-	if TrueEvaluator(p).Evaluate(c) != p.TrueTime(c) {
+	got, err := TrueEvaluator(p).Evaluate(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p.TrueTime(c) {
 		t.Fatal("TrueEvaluator not exact")
 	}
 }
@@ -93,8 +101,8 @@ func TestTrueEvaluatorExact(t *testing.T) {
 func TestEvaluatorDeterministicPerSeed(t *testing.T) {
 	p, _ := ByName("kripke")
 	c := p.Space().SampleConfig(rng.New(4))
-	a := Evaluator(p, rng.New(7)).Evaluate(c)
-	b := Evaluator(p, rng.New(7)).Evaluate(c)
+	a, _ := Evaluator(p, rng.New(7)).Evaluate(context.Background(), c)
+	b, _ := Evaluator(p, rng.New(7)).Evaluate(context.Background(), c)
 	if a != b {
 		t.Fatal("evaluator not deterministic under seed")
 	}
@@ -105,7 +113,10 @@ func TestAllProblemsEvaluate(t *testing.T) {
 	for _, p := range All() {
 		ev := Evaluator(p, r.Split())
 		for i := 0; i < 5; i++ {
-			y := ev.Evaluate(p.Space().SampleConfig(r))
+			y, err := ev.Evaluate(context.Background(), p.Space().SampleConfig(r))
+			if err != nil {
+				t.Fatal(err)
+			}
 			if y <= 0 || math.IsNaN(y) || math.IsInf(y, 0) {
 				t.Fatalf("%s: measurement %v", p.Name(), y)
 			}

@@ -14,10 +14,22 @@
 //     until n_max samples are labeled.
 //
 // Everything is deterministic given the caller-provided generator.
+//
+// Beyond the bare algorithm, Run is a production run engine: evaluations
+// receive a context and may fail (labels are real program runs that
+// hang, crash, or get cut short by a budget), a configurable failure
+// policy retries with capped exponential backoff before skipping or
+// aborting, cancellation drains cleanly and returns the partial result,
+// per-iteration telemetry is recorded, and the full loop state can be
+// snapshotted and resumed bit-identically (see Snapshot and Resume).
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"repro/internal/forest"
 	"repro/internal/rng"
@@ -25,18 +37,65 @@ import (
 )
 
 // Evaluator labels a configuration with its measured performance
-// (execution time in seconds; smaller is better). Implementations live in
-// the benchmark substrates (internal/spapt, internal/kripke,
-// internal/hypre).
+// (execution time in seconds; smaller is better). Implementations live
+// in the benchmark substrates (internal/spapt, internal/kripke,
+// internal/hypre, via internal/bench).
+//
+// Evaluate must honor ctx: a real measurement is a program run that the
+// engine may need to abort. A non-nil error marks the measurement as
+// failed; when the failed run still consumed machine time (e.g. it was
+// cut short by a timeout budget), return that time alongside the error
+// and the engine bills it to the cumulative labeling cost.
 type Evaluator interface {
-	Evaluate(c space.Config) float64
+	Evaluate(ctx context.Context, c space.Config) (float64, error)
 }
 
 // EvaluatorFunc adapts a function to the Evaluator interface.
-type EvaluatorFunc func(c space.Config) float64
+type EvaluatorFunc func(ctx context.Context, c space.Config) (float64, error)
+
+// Evaluate calls f(ctx, c).
+func (f EvaluatorFunc) Evaluate(ctx context.Context, c space.Config) (float64, error) {
+	return f(ctx, c)
+}
+
+// LegacyEvaluator is the original context-free labeling contract, kept
+// so infallible evaluators (closed-form models, lookup tables) stay
+// trivial to write. Lift one into the engine with AdaptEvaluator.
+type LegacyEvaluator interface {
+	Evaluate(c space.Config) float64
+}
+
+// LegacyEvaluatorFunc adapts a function to LegacyEvaluator.
+type LegacyEvaluatorFunc func(c space.Config) float64
 
 // Evaluate calls f(c).
-func (f EvaluatorFunc) Evaluate(c space.Config) float64 { return f(c) }
+func (f LegacyEvaluatorFunc) Evaluate(c space.Config) float64 { return f(c) }
+
+// AdaptEvaluator lifts a LegacyEvaluator into the context-aware
+// contract: the measurement itself cannot fail, and cancellation is
+// honored between measurements.
+func AdaptEvaluator(ev LegacyEvaluator) Evaluator {
+	return EvaluatorFunc(func(ctx context.Context, c space.Config) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return ev.Evaluate(c), nil
+	})
+}
+
+// StatefulEvaluator is an optional Evaluator capability: evaluators
+// whose measurements consume internal randomness (the benchmark noise
+// protocol) export and restore that generator state, so snapshots
+// capture the noise stream and a resumed run replays it bit-identically.
+type StatefulEvaluator interface {
+	Evaluator
+
+	// EvaluatorState exports the internal generator state.
+	EvaluatorState() rng.State
+
+	// RestoreEvaluatorState rewinds the evaluator to an exported state.
+	RestoreEvaluatorState(st rng.State) error
+}
 
 // Model is the surrogate interface Algorithm 1 requires: point
 // predictions plus per-prediction uncertainty. forest.Forest is the
@@ -82,6 +141,42 @@ type PoolPredictor interface {
 	PredictPool(rows []int) (mu, sigma []float64)
 }
 
+// FailureAction selects what the engine does with a configuration whose
+// evaluation keeps failing after the retry budget is spent.
+type FailureAction int
+
+const (
+	// FailAbort stops the run with an error (the default: a persistent
+	// failure usually means the harness itself is broken).
+	FailAbort FailureAction = iota
+
+	// FailSkip drops the configuration from the pool and continues —
+	// graceful degradation when individual configurations crash the
+	// program under test.
+	FailSkip
+)
+
+// FailurePolicy governs transient evaluation failures. The zero value
+// never retries and aborts on the first failure, matching the engine's
+// historical all-or-nothing behavior.
+type FailurePolicy struct {
+	// MaxRetries is the number of re-attempts after a failed
+	// evaluation of the same configuration.
+	MaxRetries int
+
+	// Backoff is the delay before the first retry; it doubles after
+	// every further failure (capped exponential backoff). Zero retries
+	// immediately.
+	Backoff time.Duration
+
+	// MaxBackoff caps the exponential growth; <= 0 leaves it uncapped.
+	MaxBackoff time.Duration
+
+	// OnExhausted selects FailAbort (default) or FailSkip once
+	// MaxRetries re-attempts have failed.
+	OnExhausted FailureAction
+}
+
 // Params are Algorithm 1's knobs. The paper's defaults (§III-D) are
 // NInit = 10, NBatch = 1, NMax = 500.
 type Params struct {
@@ -109,9 +204,36 @@ type Params struct {
 	// RecordSelections retains the (μ, σ) of every strategy-selected
 	// sample at selection time, for Fig. 9-style scatter analyses.
 	RecordSelections bool
+
+	// Failure governs transient evaluation failures; the zero value
+	// aborts on the first failure.
+	Failure FailurePolicy
+
+	// CheckpointEvery > 0 hands a Snapshot to Checkpoint after the cold
+	// start and then after every CheckpointEvery-th completed
+	// iteration. A cancellation that lands between iterations also
+	// drains a final snapshot, so an interrupted process can resume
+	// from the exact boundary it stopped at.
+	CheckpointEvery int
+
+	// Checkpoint receives snapshots (see internal/runstate for an
+	// atomic file sink). It must serialize or copy what it keeps; the
+	// engine reuses nothing, but sinks should not block for long. A
+	// checkpoint error aborts the run.
+	Checkpoint func(*Snapshot) error
+
+	// ModelLoader reconstructs a snapshot's serialized model during
+	// Resume; nil defaults to forest deserialization, which matches the
+	// default Fitter. Custom Fitters whose models implement
+	// json.Marshaler set this to make their runs resumable.
+	ModelLoader func(data []byte) (Model, error)
 }
 
-func (p Params) withDefaults() Params {
+// Normalized returns p with the engine's defaults applied. Callers that
+// must mirror the engine's labeling schedule — e.g. the experiment
+// harness computing checkpoint sizes — use it to stay in lockstep with
+// Run instead of re-implementing the defaulting.
+func (p Params) Normalized() Params {
 	if p.NInit <= 0 {
 		p.NInit = 10
 	}
@@ -126,13 +248,70 @@ func (p Params) withDefaults() Params {
 
 // Selection records one strategy decision for later analysis.
 type Selection struct {
-	Config    space.Config
-	Mu, Sigma float64 // model belief at selection time
-	Y         float64 // measured value
-	Iteration int     // 1-based iteration of the loop phase
+	Config    space.Config `json:"config"`
+	Mu        float64      `json:"mu"`    // model belief at selection time
+	Sigma     float64      `json:"sigma"` // model belief at selection time
+	Y         float64      `json:"y"`     // measured value
+	Iteration int          `json:"iteration"` // 1-based iteration of the loop phase
 }
 
-// State is the live state of a run, passed to the per-iteration observer.
+// IterStats is the telemetry of one engine event: the cold start
+// (Iteration 0) or one loop iteration. Durations are wall-clock and
+// excluded from the bit-identity guarantees of Resume; the counters are
+// deterministic.
+type IterStats struct {
+	// Iteration is 0 for the cold start, then counts loop iterations.
+	Iteration int `json:"iteration"`
+
+	// Samples is the labeled-set size after the event.
+	Samples int `json:"samples"`
+
+	// FitTime is the surrogate (re)fit wall time.
+	FitTime time.Duration `json:"fit_ns"`
+
+	// SelectTime covers candidate scoring plus strategy selection.
+	SelectTime time.Duration `json:"select_ns"`
+
+	// EvalTime is the labeling wall time, including retries and
+	// backoff sleeps.
+	EvalTime time.Duration `json:"eval_ns"`
+
+	// EvalRetries counts failed evaluation attempts that were retried.
+	EvalRetries int `json:"eval_retries,omitempty"`
+
+	// EvalSkips counts configurations dropped from the pool under
+	// FailSkip.
+	EvalSkips int `json:"eval_skips,omitempty"`
+
+	// FailedCost is the labeling cost billed by failed attempts.
+	FailedCost float64 `json:"failed_cost,omitempty"`
+
+	// PoolCached reports whether candidate scoring went through the
+	// pool-prediction cache (PoolPredictor) instead of a rebuilt
+	// candidate matrix.
+	PoolCached bool `json:"pool_cached,omitempty"`
+}
+
+// RunStats aggregates IterStats over a run.
+type RunStats struct {
+	FitTime    time.Duration
+	SelectTime time.Duration
+	EvalTime   time.Duration
+
+	EvalRetries int
+	EvalSkips   int
+	FailedCost  float64
+
+	// CachedIterations counts iterations scored via the pool cache.
+	CachedIterations int
+
+	// Events counts telemetry events (cold start + iterations).
+	Events int
+}
+
+// State is the live state of a run, passed to the per-iteration
+// observer. Each observer call is one event of the engine's telemetry
+// stream.
 type State struct {
 	// Model is the surrogate fitted to the current training set. Valid
 	// only during the observer call; do not retain it across iterations.
@@ -146,30 +325,109 @@ type State struct {
 	// Iteration counts completed loop iterations; it is 0 for the
 	// observer call right after the cold start.
 	Iteration int
+
+	// Stats is the telemetry of the event that just completed.
+	Stats IterStats
+
+	// LabelCost is the cumulative labeling cost so far (the paper's
+	// CC, Eq. 3) including the cost billed by failed attempts.
+	LabelCost float64
 }
 
 // Observer is invoked after every model (re)fit, i.e. once after the cold
 // start and once per loop iteration. Returning an error aborts the run.
 type Observer func(s *State) error
 
-// Result is the outcome of a completed run.
+// ErrPoolExhausted reports that failure skips emptied the pool before
+// NMax labels were collected; the run result is still returned.
+var ErrPoolExhausted = errors.New("core: pool exhausted before NMax labels")
+
+// Result is the outcome of a run. On errors that interrupt a run midway
+// (cancellation, evaluation failure, observer abort) the partial Result
+// is returned alongside the error.
 type Result struct {
 	TrainConfigs []space.Config
 	TrainY       []float64
 	Model        Model
 	Selections   []Selection // nil unless Params.RecordSelections
 	Iterations   int
+
+	// Stats is the per-event telemetry stream (cold start first).
+	Stats []IterStats
+
+	// FailedCost is the total labeling cost billed by failed
+	// evaluation attempts.
+	FailedCost float64
+
+	// RNGState is the loop generator's state when the run returned;
+	// with it, two runs can be compared for identical stream position.
+	RNGState rng.State
+}
+
+// LabelCost returns the run's cumulative labeling cost (the paper's CC,
+// Eq. 3) including the cost billed by failed evaluation attempts.
+func (r *Result) LabelCost() float64 {
+	var sum float64
+	for _, y := range r.TrainY {
+		sum += y
+	}
+	return sum + r.FailedCost
+}
+
+// Telemetry aggregates the per-event stats of the run.
+func (r *Result) Telemetry() RunStats {
+	var a RunStats
+	for _, s := range r.Stats {
+		a.FitTime += s.FitTime
+		a.SelectTime += s.SelectTime
+		a.EvalTime += s.EvalTime
+		a.EvalRetries += s.EvalRetries
+		a.EvalSkips += s.EvalSkips
+		a.FailedCost += s.FailedCost
+		if s.PoolCached {
+			a.CachedIterations++
+		}
+		a.Events++
+	}
+	return a
+}
+
+// engine holds the live loop state shared by Run and Resume.
+type engine struct {
+	ctx      context.Context
+	sp       *space.Space
+	pool     []space.Config
+	poolX    [][]float64
+	features []space.Feature
+	ev       Evaluator
+	strat    Strategy
+	p        Params
+	r        *rng.RNG
+	obs      Observer
+	fitter   Fitter
+
+	res       *Result
+	trainX    [][]float64
+	remaining []int
+	model     Model
+	iter      int
+	labelSum  float64 // running sum of TrainY
 }
 
 // Run executes Algorithm 1.
+//
+// ctx cancels the run: the engine drains cleanly at the next boundary
+// (between measurements or iterations), writes a final snapshot when a
+// Checkpoint sink is configured, and returns the partial Result with an
+// error wrapping ctx.Err().
 //
 // sp describes the parameter space; pool is the unlabeled data pool
 // X_pool (the surrogate of the whole space); ev labels configurations;
 // strat picks batches; r provides all randomness; obs may be nil.
 //
 // The pool slice is not modified; Run tracks membership internally.
-func Run(sp *space.Space, pool []space.Config, ev Evaluator, strat Strategy, params Params, r *rng.RNG, obs Observer) (*Result, error) {
-	p := params.withDefaults()
+func Run(ctx context.Context, sp *space.Space, pool []space.Config, ev Evaluator, strat Strategy, params Params, r *rng.RNG, obs Observer) (*Result, error) {
+	p := params.Normalized()
 	if sp == nil {
 		return nil, fmt.Errorf("core: nil space")
 	}
@@ -185,133 +443,287 @@ func Run(sp *space.Space, pool []space.Config, ev Evaluator, strat Strategy, par
 	if p.NInit > p.NMax {
 		return nil, fmt.Errorf("core: NInit %d exceeds NMax %d", p.NInit, p.NMax)
 	}
-
-	// Encode the pool once; the forest consumes feature vectors.
-	poolX := sp.EncodeAll(pool)
-	features := sp.Features()
-
-	// remaining holds pool indices still unlabeled, in stable order.
-	remaining := make([]int, len(pool))
-	for i := range remaining {
-		remaining[i] = i
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
-	res := &Result{}
-
-	// Cold-start phase: uniform sample of NInit pool entries.
-	initSel := r.Sample(len(remaining), p.NInit)
-	taken := make(map[int]bool, p.NInit)
-	for _, k := range initSel {
-		idx := remaining[k]
-		taken[idx] = true
-		cfg := pool[idx]
-		y := ev.Evaluate(cfg)
-		res.TrainConfigs = append(res.TrainConfigs, cfg)
-		res.TrainY = append(res.TrainY, y)
+	e := &engine{
+		ctx: ctx, sp: sp, pool: pool, ev: ev, strat: strat, p: p, r: r, obs: obs,
+		res: &Result{},
 	}
-	remaining = compact(remaining, taken)
+	e.init()
+	defer e.captureRNG()
 
-	trainX := make([][]float64, 0, p.NMax)
-	for _, cfg := range res.TrainConfigs {
-		trainX = append(trainX, sp.Encode(cfg))
+	if err := e.coldStart(); err != nil {
+		return e.res, err
 	}
+	return e.loop()
+}
 
-	fitter := p.Fitter
-	if fitter == nil {
-		fc := p.Forest
-		fitter = func(X [][]float64, y []float64, fs []space.Feature, fr *rng.RNG) (Model, error) {
+// init prepares the encoded pool, membership tracking and the fitter.
+func (e *engine) init() {
+	e.poolX = e.sp.EncodeAll(e.pool)
+	e.features = e.sp.Features()
+	e.remaining = make([]int, len(e.pool))
+	for i := range e.remaining {
+		e.remaining[i] = i
+	}
+	e.trainX = make([][]float64, 0, e.p.NMax)
+	e.fitter = e.p.Fitter
+	if e.fitter == nil {
+		fc := e.p.Forest
+		e.fitter = func(X [][]float64, y []float64, fs []space.Feature, fr *rng.RNG) (Model, error) {
 			return forest.Fit(X, y, fs, fc, fr)
 		}
 	}
+}
 
-	model, err := fitter(trainX, res.TrainY, features, r.Split())
-	if err != nil {
-		return nil, fmt.Errorf("core: cold-start fit: %w", err)
+// captureRNG records the loop generator's final stream position on every
+// exit path.
+func (e *engine) captureRNG() {
+	if e.res != nil && e.r != nil {
+		e.res.RNGState = e.r.State()
 	}
-	if obs != nil {
-		if err := obs(&State{Model: model, TrainConfigs: res.TrainConfigs, TrainY: res.TrainY, Iteration: 0}); err != nil {
-			return nil, err
+}
+
+// coldStart labels the uniform NInit sample and fits the first model.
+func (e *engine) coldStart() error {
+	stats := IterStats{Iteration: 0}
+	initSel := e.r.Sample(len(e.remaining), e.p.NInit)
+	taken := make(map[int]bool, e.p.NInit)
+	evalStart := time.Now()
+	for _, k := range initSel {
+		idx := e.remaining[k]
+		taken[idx] = true
+		cfg := e.pool[idx]
+		y, rep, err := e.evalConfig(cfg, &stats)
+		if err != nil {
+			stats.EvalTime = time.Since(evalStart)
+			e.remaining = compact(e.remaining, taken)
+			return fmt.Errorf("core: cold-start evaluation: %w", err)
 		}
+		if rep.skipped {
+			continue
+		}
+		e.res.TrainConfigs = append(e.res.TrainConfigs, cfg)
+		e.res.TrainY = append(e.res.TrainY, y)
+		e.labelSum += y
+	}
+	stats.EvalTime = time.Since(evalStart)
+	e.remaining = compact(e.remaining, taken)
+
+	if len(e.res.TrainY) == 0 {
+		return fmt.Errorf("core: every cold-start evaluation failed: %w", ErrPoolExhausted)
+	}
+	for _, cfg := range e.res.TrainConfigs {
+		e.trainX = append(e.trainX, e.sp.Encode(cfg))
 	}
 
-	// Iteration phase.
-	iter := 0
-	for len(res.TrainY) < p.NMax {
-		iter++
-		batch := p.NBatch
-		if rem := p.NMax - len(res.TrainY); batch > rem {
+	fitStart := time.Now()
+	model, err := e.fitter(e.trainX, e.res.TrainY, e.features, e.r.Split())
+	if err != nil {
+		return fmt.Errorf("core: cold-start fit: %w", err)
+	}
+	stats.FitTime = time.Since(fitStart)
+	stats.Samples = len(e.res.TrainY)
+	e.model = model
+	e.res.Model = model
+
+	if err := e.observe(stats); err != nil {
+		return err
+	}
+	return e.checkpoint(false)
+}
+
+// loop runs the iteration phase from the engine's current state until
+// NMax labels are collected.
+func (e *engine) loop() (*Result, error) {
+	for len(e.res.TrainY) < e.p.NMax {
+		if err := e.ctx.Err(); err != nil {
+			// Drain: this is an iteration boundary, so the state is
+			// snapshot-clean; persist it for Resume before bailing out.
+			e.drainCheckpoint()
+			return e.res, fmt.Errorf("core: interrupted after %d iterations (%d labels): %w",
+				e.iter, len(e.res.TrainY), err)
+		}
+		if len(e.remaining) == 0 {
+			return e.res, ErrPoolExhausted
+		}
+		e.iter++
+		e.res.Iterations = e.iter
+		stats := IterStats{Iteration: e.iter}
+		batch := e.p.NBatch
+		if rem := e.p.NMax - len(e.res.TrainY); batch > rem {
 			batch = rem
 		}
 
-		cand := &Candidates{Rand: r}
-		if pp, ok := model.(PoolPredictor); ok {
+		selStart := time.Now()
+		cand := &Candidates{Rand: e.r}
+		if pp, ok := e.model.(PoolPredictor); ok {
 			// Cached scoring path: no candidate-matrix rebuild, and
 			// after a warm Update only refreshed trees re-predict.
-			pp.BindPool(poolX)
-			cand.Pool, cand.Rows = poolX, remaining
-			cand.Mu, cand.Sigma = pp.PredictPool(remaining)
+			pp.BindPool(e.poolX)
+			cand.Pool, cand.Rows = e.poolX, e.remaining
+			cand.Mu, cand.Sigma = pp.PredictPool(e.remaining)
+			stats.PoolCached = true
 		} else {
-			candX := make([][]float64, len(remaining))
-			for i, idx := range remaining {
-				candX[i] = poolX[idx]
+			candX := make([][]float64, len(e.remaining))
+			for i, idx := range e.remaining {
+				candX[i] = e.poolX[idx]
 			}
 			cand.X = candX
-			cand.Mu, cand.Sigma = model.PredictBatch(candX)
+			cand.Mu, cand.Sigma = e.model.PredictBatch(candX)
 		}
 		mu, sigma := cand.Mu, cand.Sigma
-		bestY := res.TrainY[0]
-		for _, y := range res.TrainY[1:] {
+		bestY := e.res.TrainY[0]
+		for _, y := range e.res.TrainY[1:] {
 			if y < bestY {
 				bestY = y
 			}
 		}
 		cand.BestY = bestY
-		sel := strat.Select(cand, batch)
+		sel := e.strat.Select(cand, batch)
+		stats.SelectTime = time.Since(selStart)
 		if len(sel) == 0 {
-			return nil, fmt.Errorf("core: strategy %q selected nothing at iteration %d", strat.Name(), iter)
+			return e.res, fmt.Errorf("core: strategy %q selected nothing at iteration %d", e.strat.Name(), e.iter)
 		}
 
-		taken = make(map[int]bool, len(sel))
+		taken := make(map[int]bool, len(sel))
+		evalStart := time.Now()
 		for _, k := range sel {
-			if k < 0 || k >= len(remaining) {
-				return nil, fmt.Errorf("core: strategy %q returned out-of-range index %d", strat.Name(), k)
+			if k < 0 || k >= len(e.remaining) {
+				return e.res, fmt.Errorf("core: strategy %q returned out-of-range index %d", e.strat.Name(), k)
 			}
-			idx := remaining[k]
+			idx := e.remaining[k]
 			if taken[idx] {
-				return nil, fmt.Errorf("core: strategy %q returned duplicate index %d", strat.Name(), k)
+				return e.res, fmt.Errorf("core: strategy %q returned duplicate index %d", e.strat.Name(), k)
 			}
 			taken[idx] = true
-			cfg := pool[idx]
-			y := ev.Evaluate(cfg)
-			res.TrainConfigs = append(res.TrainConfigs, cfg)
-			res.TrainY = append(res.TrainY, y)
-			trainX = append(trainX, poolX[idx])
-			if p.RecordSelections {
-				res.Selections = append(res.Selections, Selection{
-					Config: cfg, Mu: mu[k], Sigma: sigma[k], Y: y, Iteration: iter,
+			cfg := e.pool[idx]
+			y, rep, err := e.evalConfig(cfg, &stats)
+			if err != nil {
+				stats.EvalTime = time.Since(evalStart)
+				e.remaining = compact(e.remaining, taken)
+				return e.res, fmt.Errorf("core: iteration %d: %w", e.iter, err)
+			}
+			if rep.skipped {
+				continue
+			}
+			e.res.TrainConfigs = append(e.res.TrainConfigs, cfg)
+			e.res.TrainY = append(e.res.TrainY, y)
+			e.labelSum += y
+			e.trainX = append(e.trainX, e.poolX[idx])
+			if e.p.RecordSelections {
+				e.res.Selections = append(e.res.Selections, Selection{
+					Config: cfg, Mu: mu[k], Sigma: sigma[k], Y: y, Iteration: e.iter,
 				})
 			}
 		}
-		remaining = compact(remaining, taken)
+		stats.EvalTime = time.Since(evalStart)
+		e.remaining = compact(e.remaining, taken)
 
-		if u, ok := model.(Updatable); p.WarmUpdate && ok {
-			err = u.Update(trainX, res.TrainY, r.Split())
+		fitStart := time.Now()
+		var err error
+		if u, ok := e.model.(Updatable); e.p.WarmUpdate && ok {
+			err = u.Update(e.trainX, e.res.TrainY, e.r.Split())
 		} else {
-			model, err = fitter(trainX, res.TrainY, features, r.Split())
+			e.model, err = e.fitter(e.trainX, e.res.TrainY, e.features, e.r.Split())
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: refit at iteration %d: %w", iter, err)
+			return e.res, fmt.Errorf("core: refit at iteration %d: %w", e.iter, err)
 		}
-		if obs != nil {
-			if err := obs(&State{Model: model, TrainConfigs: res.TrainConfigs, TrainY: res.TrainY, Iteration: iter}); err != nil {
-				return nil, err
+		stats.FitTime = time.Since(fitStart)
+		stats.Samples = len(e.res.TrainY)
+		e.res.Model = e.model
+
+		if err := e.observe(stats); err != nil {
+			return e.res, err
+		}
+		if err := e.checkpoint(false); err != nil {
+			return e.res, err
+		}
+	}
+	return e.res, nil
+}
+
+// evalReport summarizes one configuration's labeling under the failure
+// policy.
+type evalReport struct {
+	skipped bool
+}
+
+// evalConfig labels cfg under the failure policy, accounting retries,
+// skips and failed-attempt cost into stats and the result.
+func (e *engine) evalConfig(cfg space.Config, stats *IterStats) (float64, evalReport, error) {
+	var rep evalReport
+	pol := e.p.Failure
+	delay := pol.Backoff
+	for attempt := 0; ; attempt++ {
+		if err := e.ctx.Err(); err != nil {
+			return 0, rep, err
+		}
+		y, err := e.ev.Evaluate(e.ctx, cfg)
+		if err == nil {
+			return y, rep, nil
+		}
+		// A failed run that still consumed machine time bills the
+		// labeling budget: the paper's CC counts time spent, not
+		// labels obtained.
+		if y > 0 && !math.IsNaN(y) && !math.IsInf(y, 0) {
+			stats.FailedCost += y
+			e.res.FailedCost += y
+		}
+		if e.ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return 0, rep, err
+		}
+		if attempt >= pol.MaxRetries {
+			if pol.OnExhausted == FailSkip {
+				rep.skipped = true
+				stats.EvalSkips++
+				return 0, rep, nil
+			}
+			return 0, rep, fmt.Errorf("evaluation of %v failed after %d attempts: %w", cfg, attempt+1, err)
+		}
+		stats.EvalRetries++
+		if delay > 0 {
+			if err := sleepCtx(e.ctx, delay); err != nil {
+				return 0, rep, err
+			}
+			delay *= 2
+			if pol.MaxBackoff > 0 && delay > pol.MaxBackoff {
+				delay = pol.MaxBackoff
 			}
 		}
 	}
+}
 
-	res.Model = model
-	res.Iterations = iter
-	return res, nil
+// observe appends the event to the telemetry stream and notifies the
+// observer.
+func (e *engine) observe(stats IterStats) error {
+	e.res.Stats = append(e.res.Stats, stats)
+	if e.obs == nil {
+		return nil
+	}
+	return e.obs(&State{
+		Model:        e.model,
+		TrainConfigs: e.res.TrainConfigs,
+		TrainY:       e.res.TrainY,
+		Iteration:    e.iter,
+		Stats:        stats,
+		LabelCost:    e.labelSum + e.res.FailedCost,
+	})
+}
+
+// sleepCtx sleeps for d unless ctx is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // compact removes the taken pool indices from remaining, preserving order.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -18,11 +19,11 @@ func quadSpace(t testing.TB) (*space.Space, Evaluator) {
 		space.NumRange("a", 0, 9, 1),
 		space.NumRange("b", 0, 9, 1),
 	)
-	ev := EvaluatorFunc(func(c space.Config) float64 {
+	ev := AdaptEvaluator(LegacyEvaluatorFunc(func(c space.Config) float64 {
 		a := sp.ValueByName(c, "a")
 		b := sp.ValueByName(c, "b")
 		return (a-5)*(a-5) + (b-3)*(b-3) + 1
-	})
+	}))
 	return sp, ev
 }
 
@@ -34,25 +35,25 @@ func TestRunValidation(t *testing.T) {
 	sp, ev := quadSpace(t)
 	pool := sp.SampleConfigs(rng.New(1), 50)
 	r := rng.New(2)
-	if _, err := Run(nil, pool, ev, PWU{Alpha: 0.05}, Params{}, r, nil); err == nil {
+	if _, err := Run(context.Background(), nil, pool, ev, PWU{Alpha: 0.05}, Params{}, r, nil); err == nil {
 		t.Fatal("nil space accepted")
 	}
-	if _, err := Run(sp, pool, nil, PWU{Alpha: 0.05}, Params{}, r, nil); err == nil {
+	if _, err := Run(context.Background(), sp, pool, nil, PWU{Alpha: 0.05}, Params{}, r, nil); err == nil {
 		t.Fatal("nil evaluator accepted")
 	}
-	if _, err := Run(sp, pool, ev, nil, Params{}, r, nil); err == nil {
+	if _, err := Run(context.Background(), sp, pool, ev, nil, Params{}, r, nil); err == nil {
 		t.Fatal("nil strategy accepted")
 	}
-	if _, err := Run(sp, pool, ev, PWU{Alpha: 0.05}, Params{}, nil, nil); err == nil {
+	if _, err := Run(context.Background(), sp, pool, ev, PWU{Alpha: 0.05}, Params{}, nil, nil); err == nil {
 		t.Fatal("nil rng accepted")
 	}
-	if _, err := Run(sp, pool[:5], ev, PWU{Alpha: 0.05}, Params{NInit: 10}, r, nil); err == nil {
+	if _, err := Run(context.Background(), sp, pool[:5], ev, PWU{Alpha: 0.05}, Params{NInit: 10}, r, nil); err == nil {
 		t.Fatal("pool smaller than NInit accepted")
 	}
-	if _, err := Run(sp, pool, ev, PWU{Alpha: 0.05}, Params{NMax: 1000}, r, nil); err == nil {
+	if _, err := Run(context.Background(), sp, pool, ev, PWU{Alpha: 0.05}, Params{NMax: 1000}, r, nil); err == nil {
 		t.Fatal("NMax beyond pool accepted")
 	}
-	if _, err := Run(sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 40, NMax: 20}, r, nil); err == nil {
+	if _, err := Run(context.Background(), sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 40, NMax: 20}, r, nil); err == nil {
 		t.Fatal("NInit beyond NMax accepted")
 	}
 }
@@ -60,7 +61,7 @@ func TestRunValidation(t *testing.T) {
 func TestRunReachesNMax(t *testing.T) {
 	sp, ev := quadSpace(t)
 	pool := sp.SampleConfigs(rng.New(3), 80)
-	res, err := Run(sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 8, NBatch: 3, NMax: 30, Forest: smallForest()}, rng.New(4), nil)
+	res, err := Run(context.Background(), sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 8, NBatch: 3, NMax: 30, Forest: smallForest()}, rng.New(4), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestRunDeterministic(t *testing.T) {
 	sp, ev := quadSpace(t)
 	pool := sp.SampleConfigs(rng.New(5), 80)
 	run := func() []float64 {
-		res, err := Run(sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 5, NMax: 25, Forest: smallForest()}, rng.New(6), nil)
+		res, err := Run(context.Background(), sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 5, NMax: 25, Forest: smallForest()}, rng.New(6), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func TestRunDeterministic(t *testing.T) {
 func TestRunNoDuplicateLabels(t *testing.T) {
 	sp, ev := quadSpace(t)
 	pool := sp.SampleDistinct(rng.New(7), 60)
-	res, err := Run(sp, pool, ev, MaxU{}, Params{NInit: 5, NMax: 40, Forest: smallForest()}, rng.New(8), nil)
+	res, err := Run(context.Background(), sp, pool, ev, MaxU{}, Params{NInit: 5, NMax: 40, Forest: smallForest()}, rng.New(8), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestObserverCalls(t *testing.T) {
 		}
 		return nil
 	}
-	_, err := Run(sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 5, NBatch: 5, NMax: 20, Forest: smallForest()}, rng.New(10), obs)
+	_, err := Run(context.Background(), sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 5, NBatch: 5, NMax: 20, Forest: smallForest()}, rng.New(10), obs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestObserverErrorAborts(t *testing.T) {
 		}
 		return nil
 	}
-	_, err := Run(sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 5, NMax: 20, Forest: smallForest()}, rng.New(12), obs)
+	_, err := Run(context.Background(), sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 5, NMax: 20, Forest: smallForest()}, rng.New(12), obs)
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
@@ -165,7 +166,7 @@ func TestObserverErrorAborts(t *testing.T) {
 func TestRecordSelections(t *testing.T) {
 	sp, ev := quadSpace(t)
 	pool := sp.SampleConfigs(rng.New(13), 60)
-	res, err := Run(sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 5, NMax: 20, Forest: smallForest(), RecordSelections: true}, rng.New(14), nil)
+	res, err := Run(context.Background(), sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 5, NMax: 20, Forest: smallForest(), RecordSelections: true}, rng.New(14), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,10 @@ func TestRecordSelections(t *testing.T) {
 		if s.Sigma < 0 || math.IsNaN(s.Mu) || s.Iteration < 1 {
 			t.Fatalf("bad selection record %+v", s)
 		}
-		want := ev.Evaluate(s.Config)
+		want, werr := ev.Evaluate(context.Background(), s.Config)
+		if werr != nil {
+			t.Fatal(werr)
+		}
 		if s.Y != want {
 			t.Fatalf("selection Y %v != evaluator %v", s.Y, want)
 		}
@@ -186,7 +190,7 @@ func TestRecordSelections(t *testing.T) {
 func TestNoSelectionsWithoutFlag(t *testing.T) {
 	sp, ev := quadSpace(t)
 	pool := sp.SampleConfigs(rng.New(15), 60)
-	res, err := Run(sp, pool, ev, Random{}, Params{NInit: 5, NMax: 15, Forest: smallForest()}, rng.New(16), nil)
+	res, err := Run(context.Background(), sp, pool, ev, Random{}, Params{NInit: 5, NMax: 15, Forest: smallForest()}, rng.New(16), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +205,7 @@ func TestActiveLearningBeatsNothingOnQuadratic(t *testing.T) {
 	sp, ev := quadSpace(t)
 	r := rng.New(17)
 	pool := sp.SampleConfigs(r, 90)
-	res, err := Run(sp, pool, ev, PWU{Alpha: 0.1}, Params{NInit: 10, NMax: 60, Forest: forest.Config{NumTrees: 64}}, rng.New(18), nil)
+	res, err := Run(context.Background(), sp, pool, ev, PWU{Alpha: 0.1}, Params{NInit: 10, NMax: 60, Forest: forest.Config{NumTrees: 64}}, rng.New(18), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,15 +220,15 @@ func TestBadStrategyIndexRejected(t *testing.T) {
 	sp, ev := quadSpace(t)
 	pool := sp.SampleConfigs(rng.New(19), 60)
 	bad := strategyFunc{name: "bad", f: func(c *Candidates, n int) []int { return []int{c.Len() + 5} }}
-	if _, err := Run(sp, pool, ev, bad, Params{NInit: 5, NMax: 10, Forest: smallForest()}, rng.New(20), nil); err == nil {
+	if _, err := Run(context.Background(), sp, pool, ev, bad, Params{NInit: 5, NMax: 10, Forest: smallForest()}, rng.New(20), nil); err == nil {
 		t.Fatal("out-of-range index accepted")
 	}
 	dup := strategyFunc{name: "dup", f: func(c *Candidates, n int) []int { return []int{0, 0} }}
-	if _, err := Run(sp, pool, ev, dup, Params{NInit: 5, NBatch: 2, NMax: 10, Forest: smallForest()}, rng.New(21), nil); err == nil {
+	if _, err := Run(context.Background(), sp, pool, ev, dup, Params{NInit: 5, NBatch: 2, NMax: 10, Forest: smallForest()}, rng.New(21), nil); err == nil {
 		t.Fatal("duplicate index accepted")
 	}
 	empty := strategyFunc{name: "empty", f: func(c *Candidates, n int) []int { return nil }}
-	if _, err := Run(sp, pool, ev, empty, Params{NInit: 5, NMax: 10, Forest: smallForest()}, rng.New(22), nil); err == nil {
+	if _, err := Run(context.Background(), sp, pool, ev, empty, Params{NInit: 5, NMax: 10, Forest: smallForest()}, rng.New(22), nil); err == nil {
 		t.Fatal("empty selection accepted")
 	}
 }
@@ -253,7 +257,7 @@ func TestCustomFitter(t *testing.T) {
 		mean /= float64(len(y))
 		return constModel{mean}, nil
 	}
-	res, err := Run(sp, pool, ev, Random{}, Params{NInit: 5, NBatch: 5, NMax: 20, Fitter: fitter}, rng.New(31), nil)
+	res, err := Run(context.Background(), sp, pool, ev, Random{}, Params{NInit: 5, NBatch: 5, NMax: 20, Fitter: fitter}, rng.New(31), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +288,7 @@ func TestWarmUpdatePath(t *testing.T) {
 	// refitted; the run must still complete and produce a usable model.
 	sp, ev := quadSpace(t)
 	pool := sp.SampleConfigs(rng.New(32), 80)
-	res, err := Run(sp, pool, ev, PWU{Alpha: 0.1},
+	res, err := Run(context.Background(), sp, pool, ev, PWU{Alpha: 0.1},
 		Params{NInit: 10, NBatch: 5, NMax: 50, Forest: smallForest(), WarmUpdate: true}, rng.New(33), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -306,7 +310,7 @@ func TestBestYReachesStrategy(t *testing.T) {
 		seen = append(seen, c.BestY)
 		return []int{0}
 	}}
-	res, err := Run(sp, pool, ev, probe, Params{NInit: 5, NMax: 10, Forest: smallForest()}, rng.New(35), nil)
+	res, err := Run(context.Background(), sp, pool, ev, probe, Params{NInit: 5, NMax: 10, Forest: smallForest()}, rng.New(35), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +345,7 @@ func TestBatchDedupPrefersDistinctConfigs(t *testing.T) {
 		pool = append(pool, base.Clone())
 	}
 	pool = append(pool, sp.SampleConfigs(rng.New(36), 10)...)
-	res, err := Run(sp, pool, ev, MaxU{}, Params{NInit: 5, NBatch: 3, NMax: 20, Forest: smallForest()}, rng.New(37), nil)
+	res, err := Run(context.Background(), sp, pool, ev, MaxU{}, Params{NInit: 5, NBatch: 3, NMax: 20, Forest: smallForest()}, rng.New(37), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +367,7 @@ func TestPoolNotMutated(t *testing.T) {
 	for i, c := range pool {
 		snapshot[i] = c.Key()
 	}
-	if _, err := Run(sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 5, NMax: 20, Forest: smallForest()}, rng.New(24), nil); err != nil {
+	if _, err := Run(context.Background(), sp, pool, ev, PWU{Alpha: 0.05}, Params{NInit: 5, NMax: 20, Forest: smallForest()}, rng.New(24), nil); err != nil {
 		t.Fatal(err)
 	}
 	for i, c := range pool {
@@ -404,7 +408,7 @@ func TestPoolPredictorPathBitIdentical(t *testing.T) {
 	pool := sp.SampleConfigs(rng.New(40), 120)
 	run := func(fitter Fitter, warm bool) *Result {
 		t.Helper()
-		res, err := Run(sp, pool, ev, PWU{Alpha: 0.1},
+		res, err := Run(context.Background(), sp, pool, ev, PWU{Alpha: 0.1},
 			Params{NInit: 10, NBatch: 3, NMax: 40, Forest: smallForest(),
 				Fitter: fitter, WarmUpdate: warm, RecordSelections: true},
 			rng.New(41), nil)

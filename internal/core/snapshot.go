@@ -1,0 +1,242 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/forest"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// snapshotVersion guards the wire format; Resume rejects snapshots from
+// a different engine generation instead of mis-reading them.
+const snapshotVersion = 1
+
+// Snapshot is the complete serializable state of a run at an iteration
+// boundary. Together with the inputs that are regenerated
+// deterministically by the caller (the space, the pool, the evaluator,
+// the strategy, the params), it is sufficient for Resume to continue
+// the run bit-identically — same labels, same selections, same RNG
+// stream position — as if it had never stopped.
+//
+// The pool itself is not stored (it can be huge and is deterministic
+// from the caller's seed); PoolSize and PoolHash fingerprint it so
+// Resume can reject a mismatched pool instead of silently diverging.
+type Snapshot struct {
+	Version   int `json:"version"`
+	Iteration int `json:"iteration"`
+
+	// PoolSize / PoolHash fingerprint the pool the run was started with.
+	PoolSize int    `json:"pool_size"`
+	PoolHash uint64 `json:"pool_hash"`
+
+	// Remaining is the unlabeled pool membership, as indices into the
+	// original pool, in engine order.
+	Remaining []int `json:"remaining"`
+
+	// TrainConfigs / TrainY are the labeled set in labeling order.
+	TrainConfigs []space.Config `json:"train_configs"`
+	TrainY       []float64      `json:"train_y"`
+
+	// RNG is the loop generator's stream position.
+	RNG rng.State `json:"rng"`
+
+	// Evaluator is the evaluator's internal generator state, present
+	// when the evaluator implements StatefulEvaluator (the benchmark
+	// noise stream).
+	Evaluator *rng.State `json:"evaluator,omitempty"`
+
+	// Model is the fitted surrogate, serialized by its own marshaler
+	// (the forest/tree JSON format by default).
+	Model json.RawMessage `json:"model"`
+
+	// Stats, Selections and FailedCost restore the Result bookkeeping
+	// so a resumed run's Result matches the uninterrupted one.
+	Stats      []IterStats `json:"stats,omitempty"`
+	Selections []Selection `json:"selections,omitempty"`
+	FailedCost float64     `json:"failed_cost,omitempty"`
+}
+
+// poolHash fingerprints a pool with FNV-1a over its level indices.
+func poolHash(pool []space.Config) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(pool)))
+	for _, c := range pool {
+		mix(uint64(len(c)))
+		for _, lvl := range c {
+			mix(uint64(int64(lvl)))
+		}
+	}
+	return h
+}
+
+// checkpoint hands a snapshot to the configured sink when due: after
+// the cold start (iteration 0) and after every CheckpointEvery-th
+// completed iteration.
+func (e *engine) checkpoint(force bool) error {
+	if e.p.Checkpoint == nil {
+		return nil
+	}
+	if !force {
+		if e.p.CheckpointEvery <= 0 || e.iter%e.p.CheckpointEvery != 0 {
+			return nil
+		}
+	}
+	snap, err := e.snapshot()
+	if err != nil {
+		return fmt.Errorf("core: snapshot at iteration %d: %w", e.iter, err)
+	}
+	if err := e.p.Checkpoint(snap); err != nil {
+		return fmt.Errorf("core: checkpoint at iteration %d: %w", e.iter, err)
+	}
+	return nil
+}
+
+// drainCheckpoint persists the boundary state when a cancellation lands
+// between iterations. The run is already returning ctx.Err(); a sink
+// failure here cannot change that outcome, so it is ignored — the
+// previous periodic snapshot remains valid.
+func (e *engine) drainCheckpoint() {
+	if e.p.Checkpoint == nil {
+		return
+	}
+	if snap, err := e.snapshot(); err == nil {
+		_ = e.p.Checkpoint(snap)
+	}
+}
+
+// snapshot captures the engine's boundary state. Slices are copied so
+// the snapshot stays valid while the engine keeps running.
+func (e *engine) snapshot() (*Snapshot, error) {
+	model, err := json.Marshal(e.model)
+	if err != nil {
+		return nil, fmt.Errorf("serializing model: %w", err)
+	}
+	snap := &Snapshot{
+		Version:      snapshotVersion,
+		Iteration:    e.iter,
+		PoolSize:     len(e.pool),
+		PoolHash:     poolHash(e.pool),
+		Remaining:    append([]int(nil), e.remaining...),
+		TrainConfigs: append([]space.Config(nil), e.res.TrainConfigs...),
+		TrainY:       append([]float64(nil), e.res.TrainY...),
+		RNG:          e.r.State(),
+		Model:        model,
+		Stats:        append([]IterStats(nil), e.res.Stats...),
+		Selections:   append([]Selection(nil), e.res.Selections...),
+		FailedCost:   e.res.FailedCost,
+	}
+	if sev, ok := e.ev.(StatefulEvaluator); ok {
+		st := sev.EvaluatorState()
+		snap.Evaluator = &st
+	}
+	return snap, nil
+}
+
+// Resume continues a run from a Snapshot, bit-identically to the run
+// that would have happened without the interruption: same labeled set,
+// same selections, same RNG stream position (proven by the equivalence
+// test and enforced by `make resume-equivalence`).
+//
+// The caller regenerates the run's deterministic inputs — the space,
+// the pool (validated against the snapshot's fingerprint), the
+// evaluator, the strategy and the params, which must match the original
+// run — and Resume restores the rest from the snapshot: the labeled
+// set, pool membership, the loop generator, the fitted model (via
+// params.ModelLoader, defaulting to the forest format) and, for
+// StatefulEvaluator evaluators, the evaluator's noise stream.
+func Resume(ctx context.Context, snap *Snapshot, sp *space.Space, pool []space.Config, ev Evaluator, strat Strategy, params Params, obs Observer) (*Result, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("core: nil snapshot")
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, engine speaks %d", snap.Version, snapshotVersion)
+	}
+	p := params.Normalized()
+	if sp == nil {
+		return nil, fmt.Errorf("core: nil space")
+	}
+	if ev == nil || strat == nil {
+		return nil, fmt.Errorf("core: nil evaluator or strategy")
+	}
+	if len(pool) != snap.PoolSize {
+		return nil, fmt.Errorf("core: pool size %d does not match snapshot's %d", len(pool), snap.PoolSize)
+	}
+	if h := poolHash(pool); h != snap.PoolHash {
+		return nil, fmt.Errorf("core: pool hash %#x does not match snapshot's %#x (different pool or seed)", h, snap.PoolHash)
+	}
+	if len(snap.TrainConfigs) != len(snap.TrainY) {
+		return nil, fmt.Errorf("core: snapshot has %d configs but %d labels", len(snap.TrainConfigs), len(snap.TrainY))
+	}
+	if len(snap.TrainY) == 0 || len(snap.TrainY) > p.NMax {
+		return nil, fmt.Errorf("core: snapshot labeled-set size %d outside (0, NMax=%d]", len(snap.TrainY), p.NMax)
+	}
+	for _, idx := range snap.Remaining {
+		if idx < 0 || idx >= len(pool) {
+			return nil, fmt.Errorf("core: snapshot remaining index %d out of pool range", idx)
+		}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	r, err := rng.FromState(snap.RNG)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot RNG: %w", err)
+	}
+	loader := p.ModelLoader
+	if loader == nil {
+		loader = func(data []byte) (Model, error) {
+			return forest.Load(bytes.NewReader(data))
+		}
+	}
+	model, err := loader(snap.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot model: %w", err)
+	}
+	if snap.Evaluator != nil {
+		sev, ok := ev.(StatefulEvaluator)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot carries evaluator state but evaluator %T cannot restore it", ev)
+		}
+		if err := sev.RestoreEvaluatorState(*snap.Evaluator); err != nil {
+			return nil, fmt.Errorf("core: restoring evaluator state: %w", err)
+		}
+	}
+
+	e := &engine{
+		ctx: ctx, sp: sp, pool: pool, ev: ev, strat: strat, p: p, r: r, obs: obs,
+		res: &Result{
+			TrainConfigs: append([]space.Config(nil), snap.TrainConfigs...),
+			TrainY:       append([]float64(nil), snap.TrainY...),
+			Selections:   append([]Selection(nil), snap.Selections...),
+			Stats:        append([]IterStats(nil), snap.Stats...),
+			FailedCost:   snap.FailedCost,
+			Iterations:   snap.Iteration,
+			Model:        model,
+		},
+	}
+	e.init()
+	defer e.captureRNG()
+	e.remaining = append(e.remaining[:0], snap.Remaining...)
+	e.iter = snap.Iteration
+	e.model = model
+	for _, cfg := range snap.TrainConfigs {
+		e.trainX = append(e.trainX, e.sp.Encode(cfg))
+	}
+	for _, y := range snap.TrainY {
+		e.labelSum += y
+	}
+	return e.loop()
+}

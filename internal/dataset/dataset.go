@@ -11,6 +11,7 @@ package dataset
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -40,8 +41,9 @@ type Dataset struct {
 // Build samples poolSize + testSize configurations uniformly (with
 // replacement, matching the paper's protocol on the small application
 // spaces) and measures the test labels in advance. All randomness comes
-// from r.
-func Build(p bench.Problem, poolSize, testSize int, r *rng.RNG) *Dataset {
+// from r. Measuring the test set is the expensive part; ctx cancels it
+// between measurements.
+func Build(ctx context.Context, p bench.Problem, poolSize, testSize int, r *rng.RNG) (*Dataset, error) {
 	sp := p.Space()
 	all := sp.SampleConfigs(r, poolSize+testSize)
 	ds := &Dataset{
@@ -53,10 +55,14 @@ func Build(p bench.Problem, poolSize, testSize int, r *rng.RNG) *Dataset {
 	ds.TestY = make([]float64, testSize)
 	ds.TestTrue = make([]float64, testSize)
 	for i, c := range ds.Test {
-		ds.TestY[i] = ev.Evaluate(c)
+		y, err := ev.Evaluate(ctx, c)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: measuring test label %d/%d: %w", i+1, testSize, err)
+		}
+		ds.TestY[i] = y
 		ds.TestTrue[i] = p.TrueTime(c)
 	}
-	return ds
+	return ds, nil
 }
 
 // PaperSizes returns the paper's pool and test sizes (7000, 3000).

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -15,7 +16,10 @@ func TestBuildSizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds := Build(p, 700, 300, rng.New(1))
+	ds, err := Build(context.Background(), p, 700, 300, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ds.Pool) != 700 || len(ds.Test) != 300 {
 		t.Fatalf("sizes %d/%d", len(ds.Pool), len(ds.Test))
 	}
@@ -33,7 +37,10 @@ func TestPaperSizes(t *testing.T) {
 
 func TestTestLabelsNearTruth(t *testing.T) {
 	p, _ := bench.ByName("mvt")
-	ds := Build(p, 100, 200, rng.New(2))
+	ds, err := Build(context.Background(), p, 100, 200, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range ds.Test {
 		if ds.TestY[i] <= 0 {
 			t.Fatalf("non-positive label %v", ds.TestY[i])
@@ -47,8 +54,11 @@ func TestTestLabelsNearTruth(t *testing.T) {
 
 func TestBuildDeterministic(t *testing.T) {
 	p, _ := bench.ByName("adi")
-	a := Build(p, 50, 50, rng.New(3))
-	b := Build(p, 50, 50, rng.New(3))
+	a, errA := Build(context.Background(), p, 50, 50, rng.New(3))
+	b, errB := Build(context.Background(), p, 50, 50, rng.New(3))
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	for i := range a.Pool {
 		if a.Pool[i].Key() != b.Pool[i].Key() {
 			t.Fatal("pool not deterministic")
@@ -63,7 +73,10 @@ func TestBuildDeterministic(t *testing.T) {
 
 func TestCSVRoundTrip(t *testing.T) {
 	p, _ := bench.ByName("kripke")
-	ds := Build(p, 40, 25, rng.New(4))
+	ds, err := Build(context.Background(), p, 40, 25, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := ds.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
@@ -111,7 +124,10 @@ func TestReadCSVRejectsGarbage(t *testing.T) {
 
 func TestTestXEncoding(t *testing.T) {
 	p, _ := bench.ByName("hypre")
-	ds := Build(p, 10, 5, rng.New(5))
+	ds, err := Build(context.Background(), p, 10, 5, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
 	X := ds.TestX()
 	if len(X) != 5 || len(X[0]) != p.Space().NumParams() {
 		t.Fatalf("TestX shape %dx%d", len(X), len(X[0]))

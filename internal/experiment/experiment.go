@@ -9,6 +9,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -126,6 +128,26 @@ type CurveSet struct {
 
 	// CC[i] is the mean cumulative labeling cost at Samples[i].
 	CC []float64
+
+	// Stats aggregates the run engine's telemetry over every completed
+	// repetition (fit/select/eval wall time, retries, cache hits).
+	Stats core.RunStats
+
+	// Reps is the number of repetitions the curves average; it equals
+	// the scale's Reps except for partial results after a cancellation.
+	Reps int
+}
+
+// merge accumulates one repetition's engine telemetry.
+func (c *CurveSet) merge(s core.RunStats) {
+	c.Stats.FitTime += s.FitTime
+	c.Stats.SelectTime += s.SelectTime
+	c.Stats.EvalTime += s.EvalTime
+	c.Stats.EvalRetries += s.EvalRetries
+	c.Stats.EvalSkips += s.EvalSkips
+	c.Stats.FailedCost += s.FailedCost
+	c.Stats.CachedIterations += s.CachedIterations
+	c.Stats.Events += s.Events
 }
 
 // RMSECurve returns the RMSE learning curve as a metrics.Curve.
@@ -143,15 +165,29 @@ func strategyFor(name string, alpha float64) (core.Strategy, error) {
 	return core.ByName(name, alpha)
 }
 
+// repResult is one repetition's outcome. On cancellation rmse/cc hold
+// the prefix of checkpoints reached before the interruption.
+type repResult struct {
+	rmse, cc []float64
+	stats    core.RunStats
+	err      error
+}
+
 // RunStrategy runs sc.Reps repetitions of Algorithm 1 with the named
 // strategy on problem p and returns the averaged curves. Repetition r
 // uses an independent dataset and seed derived from seed, matching the
 // paper's "10 random experiments" protocol.
-func RunStrategy(p bench.Problem, strategyName string, sc Scale, seed uint64) (*CurveSet, error) {
+//
+// Cancelling ctx drains the repetition workers and returns the partial
+// curve set truncated to the checkpoints every repetition reached,
+// alongside an error wrapping ctx.Err(); the partial set is nil when no
+// repetition reached its first checkpoint.
+func RunStrategy(ctx context.Context, p bench.Problem, strategyName string, sc Scale, seed uint64) (*CurveSet, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	checkpoints := checkpointSizes(sc)
-	repRMSE := make([][]float64, sc.Reps)
-	repCC := make([][]float64, sc.Reps)
-	errs := make([]error, sc.Reps)
+	reps := make([]repResult, sc.Reps)
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, sc.workers())
@@ -161,44 +197,83 @@ func RunStrategy(p bench.Problem, strategyName string, sc Scale, seed uint64) (*
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			repRMSE[rep], repCC[rep], errs[rep] = runOnce(p, strategyName, sc, rng.Mix(seed, uint64(rep)))
+			// Worker seeds derive from (seed, rep), never from the
+			// launch schedule, so results are identical for any Workers.
+			reps[rep] = runOnce(ctx, p, strategyName, sc, rng.Mix(seed, uint64(rep)))
 		}(rep)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+
+	cancelled := false
+	for _, rr := range reps {
+		if rr.err == nil {
+			continue
+		}
+		if errors.Is(rr.err, context.Canceled) || errors.Is(rr.err, context.DeadlineExceeded) {
+			cancelled = true
+			continue
+		}
+		return nil, rr.err
+	}
+
+	// On cancellation every repetition contributes only the checkpoints
+	// it reached; average over the common prefix.
+	usable := len(checkpoints)
+	if cancelled {
+		for _, rr := range reps {
+			if len(rr.rmse) < usable {
+				usable = len(rr.rmse)
+			}
+		}
+		if usable == 0 {
+			return nil, fmt.Errorf("experiment: %s/%s interrupted before the first checkpoint: %w",
+				p.Name(), strategyName, ctx.Err())
 		}
 	}
 
 	cs := &CurveSet{
 		Benchmark: p.Name(), Strategy: strategyName, Alpha: sc.Alpha,
-		Samples: checkpoints,
-		RMSE:    make([]float64, len(checkpoints)),
-		RMSEStd: make([]float64, len(checkpoints)),
-		CC:      make([]float64, len(checkpoints)),
+		Samples: checkpoints[:usable],
+		RMSE:    make([]float64, usable),
+		RMSEStd: make([]float64, usable),
+		CC:      make([]float64, usable),
+		Reps:    sc.Reps,
 	}
-	for i := range checkpoints {
+	for i := 0; i < usable; i++ {
 		var rmse, cc []float64
 		for rep := 0; rep < sc.Reps; rep++ {
-			rmse = append(rmse, repRMSE[rep][i])
-			cc = append(cc, repCC[rep][i])
+			rmse = append(rmse, reps[rep].rmse[i])
+			cc = append(cc, reps[rep].cc[i])
 		}
 		cs.RMSE[i] = mean(rmse)
 		cs.RMSEStd[i] = stddev(rmse)
 		cs.CC[i] = mean(cc)
 	}
+	for _, rr := range reps {
+		cs.merge(rr.stats)
+	}
+	if cancelled {
+		return cs, fmt.Errorf("experiment: %s/%s interrupted at checkpoint %d/%d: %w",
+			p.Name(), strategyName, usable, len(checkpoints), ctx.Err())
+	}
 	return cs, nil
 }
 
 // runOnce executes one repetition and returns the per-checkpoint RMSE@α
-// and CC.
-func runOnce(p bench.Problem, strategyName string, sc Scale, seed uint64) (rmse, cc []float64, err error) {
+// and CC. A cancellation returns the checkpoints reached so far with the
+// ctx error.
+func runOnce(ctx context.Context, p bench.Problem, strategyName string, sc Scale, seed uint64) repResult {
+	var rr repResult
 	r := rng.New(seed)
-	ds := dataset.Build(p, sc.PoolSize, sc.TestSize, r.Split())
+	ds, err := dataset.Build(ctx, p, sc.PoolSize, sc.TestSize, r.Split())
+	if err != nil {
+		rr.err = err
+		return rr
+	}
 	strat, err := strategyFor(strategyName, sc.Alpha)
 	if err != nil {
-		return nil, nil, err
+		rr.err = err
+		return rr
 	}
 	testX := ds.TestX()
 
@@ -208,46 +283,62 @@ func runOnce(p bench.Problem, strategyName string, sc Scale, seed uint64) (rmse,
 		want[s] = true
 	}
 
+	lastRecorded := -1
 	obs := func(st *core.State) error {
 		n := len(st.TrainY)
-		if !want[n] {
+		// n == lastRecorded guards against double-recording a
+		// checkpoint when a whole batch is skipped under FailSkip.
+		if !want[n] || n == lastRecorded {
 			return nil
 		}
+		lastRecorded = n
 		pred, _ := st.Model.PredictBatch(testX)
-		rmse = append(rmse, metrics.RMSEAtAlpha(ds.TestY, pred, sc.Alpha))
-		cc = append(cc, metrics.CumulativeCost(st.TrainY))
+		rr.rmse = append(rr.rmse, metrics.RMSEAtAlpha(ds.TestY, pred, sc.Alpha))
+		rr.cc = append(rr.cc, metrics.CumulativeCost(st.TrainY))
 		return nil
 	}
 
 	ev := bench.Evaluator(p, r.Split())
 	params := core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax, Forest: sc.Forest, Fitter: sc.Fitter}
-	if _, err := core.Run(p.Space(), ds.Pool, ev, strat, params, r, obs); err != nil {
-		return nil, nil, err
+	res, err := core.Run(ctx, p.Space(), ds.Pool, ev, strat, params, r, obs)
+	if res != nil {
+		rr.stats = res.Telemetry()
 	}
-	if len(rmse) != len(checkpoints) {
-		return nil, nil, fmt.Errorf("experiment: recorded %d checkpoints, want %d", len(rmse), len(checkpoints))
+	if err != nil {
+		rr.err = err
+		return rr
 	}
-	return rmse, cc, nil
+	if len(rr.rmse) != len(checkpoints) {
+		rr.err = fmt.Errorf("experiment: recorded %d checkpoints, want %d", len(rr.rmse), len(checkpoints))
+	}
+	return rr
 }
 
 // checkpointSizes lists the training-set sizes at which metrics are
 // evaluated: the cold-start size, then every EvalEvery-th size reachable
 // by the batch schedule, always including NMax.
+//
+// The sizes are normalized through core.Params.Normalized so the list
+// stays in lockstep with the engine's actual labeling schedule: with the
+// raw scale values a zero NBatch would never advance (the engine
+// defaults it to 1) and a zero NInit/NMax would enumerate a schedule the
+// engine never runs.
 func checkpointSizes(sc Scale) []int {
+	norm := core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax}.Normalized()
 	every := sc.EvalEvery
 	if every < 1 {
 		every = 1
 	}
 	var out []int
-	n := sc.NInit
+	n := norm.NInit
 	out = append(out, n)
 	last := n
-	for n < sc.NMax {
-		n += sc.NBatch
-		if n > sc.NMax {
-			n = sc.NMax
+	for n < norm.NMax {
+		n += norm.NBatch
+		if n > norm.NMax {
+			n = norm.NMax
 		}
-		if n-last >= every || n == sc.NMax {
+		if n-last >= every || n == norm.NMax {
 			out = append(out, n)
 			last = n
 		}
@@ -259,14 +350,20 @@ func checkpointSizes(sc Scale) []int {
 // order. Each strategy sees the same experiment seed so repetition r of
 // every strategy works on an identically-distributed (not identical)
 // dataset draw.
-func RunAll(p bench.Problem, names []string, sc Scale, seed uint64) ([]*CurveSet, error) {
+//
+// On cancellation it returns the curve sets completed so far (plus the
+// interrupted strategy's partial set, when it reached any checkpoint)
+// together with the error.
+func RunAll(ctx context.Context, p bench.Problem, names []string, sc Scale, seed uint64) ([]*CurveSet, error) {
 	out := make([]*CurveSet, 0, len(names))
 	for _, name := range names {
-		cs, err := RunStrategy(p, name, sc, seed)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %s/%s: %w", p.Name(), name, err)
+		cs, err := RunStrategy(ctx, p, name, sc, seed)
+		if cs != nil {
+			out = append(out, cs)
 		}
-		out = append(out, cs)
+		if err != nil {
+			return out, fmt.Errorf("experiment: %s/%s: %w", p.Name(), name, err)
+		}
 	}
 	return out, nil
 }

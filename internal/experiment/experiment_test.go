@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestRunStrategySmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc := Smoke()
-	cs, err := RunStrategy(p, "PWU", sc, 1)
+	cs, err := RunStrategy(context.Background(), p, "PWU", sc, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +83,11 @@ func TestRunStrategySmoke(t *testing.T) {
 func TestRunStrategyDeterministic(t *testing.T) {
 	p, _ := bench.ByName("mvt")
 	sc := Smoke()
-	a, err := RunStrategy(p, "MaxU", sc, 7)
+	a, err := RunStrategy(context.Background(), p, "MaxU", sc, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunStrategy(p, "MaxU", sc, 7)
+	b, err := RunStrategy(context.Background(), p, "MaxU", sc, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,8 +101,8 @@ func TestRunStrategyDeterministic(t *testing.T) {
 func TestRunStrategySeedsMatter(t *testing.T) {
 	p, _ := bench.ByName("mvt")
 	sc := Smoke()
-	a, _ := RunStrategy(p, "Random", sc, 1)
-	b, _ := RunStrategy(p, "Random", sc, 2)
+	a, _ := RunStrategy(context.Background(), p, "Random", sc, 1)
+	b, _ := RunStrategy(context.Background(), p, "Random", sc, 2)
 	same := true
 	for i := range a.RMSE {
 		if a.RMSE[i] != b.RMSE[i] {
@@ -116,7 +117,7 @@ func TestRunStrategySeedsMatter(t *testing.T) {
 func TestRunAllOrder(t *testing.T) {
 	p, _ := bench.ByName("gesummv")
 	names := []string{"PWU", "Random"}
-	out, err := RunAll(p, names, Smoke(), 3)
+	out, err := RunAll(context.Background(), p, names, Smoke(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestRunAllOrder(t *testing.T) {
 
 func TestRunAllUnknownStrategy(t *testing.T) {
 	p, _ := bench.ByName("gesummv")
-	if _, err := RunAll(p, []string{"Nope"}, Smoke(), 3); err == nil {
+	if _, err := RunAll(context.Background(), p, []string{"Nope"}, Smoke(), 3); err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
 }
@@ -139,7 +140,7 @@ func TestLearningCurveImproves(t *testing.T) {
 	sc := Smoke()
 	sc.NMax = 120
 	sc.PoolSize = 500
-	cs, err := RunStrategy(p, "Random", sc, 5)
+	cs, err := RunStrategy(context.Background(), p, "Random", sc, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestLearningCurveImproves(t *testing.T) {
 func TestSelectionScatter(t *testing.T) {
 	p, _ := bench.ByName("atax")
 	sc := Smoke()
-	s, err := SelectionScatter(p, "PWU", sc, 9)
+	s, err := SelectionScatter(context.Background(), p, "PWU", sc, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestSelectionScatter(t *testing.T) {
 
 func TestPWUSpeedups(t *testing.T) {
 	p, _ := bench.ByName("atax")
-	rows, err := PWUSpeedups([]bench.Problem{p}, Smoke(), 11)
+	rows, err := PWUSpeedups(context.Background(), []bench.Problem{p}, Smoke(), 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestEngineSwapCurvesIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc := Smoke()
-	base, err := RunStrategy(p, "PWU", sc, 7)
+	base, err := RunStrategy(context.Background(), p, "PWU", sc, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestEngineSwapCurvesIdentical(t *testing.T) {
 		}
 		return noPoolModel{f}, nil
 	}
-	alt, err := RunStrategy(p, "PWU", swapped, 7)
+	alt, err := RunStrategy(context.Background(), p, "PWU", swapped, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

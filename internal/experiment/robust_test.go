@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// TestCheckpointSizesZeroBatchTerminates is the regression test for the
+// schedule bug: the engine defaults NBatch to 1, but checkpointSizes
+// used the raw scale value, so NBatch = 0 never advanced and the size
+// enumeration looped forever.
+func TestCheckpointSizesZeroBatchTerminates(t *testing.T) {
+	done := make(chan []int, 1)
+	go func() { done <- checkpointSizes(Scale{NInit: 5, NBatch: 0, NMax: 15, EvalEvery: 1}) }()
+	select {
+	case got := <-done:
+		want := []int{5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+		if len(got) != len(want) {
+			t.Fatalf("checkpoints = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("checkpoints = %v, want %v", got, want)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("checkpointSizes with NBatch=0 did not terminate")
+	}
+}
+
+// TestCheckpointSizesMatchEngineDefaults pins the whole normalization:
+// all-zero scale knobs must enumerate exactly the schedule the engine
+// actually runs (NInit 10, NBatch 1, NMax 500), NMax last.
+func TestCheckpointSizesMatchEngineDefaults(t *testing.T) {
+	got := checkpointSizes(Scale{EvalEvery: 100})
+	if got[0] != 10 {
+		t.Fatalf("first checkpoint %d, want the engine's default NInit 10", got[0])
+	}
+	if got[len(got)-1] != 500 {
+		t.Fatalf("last checkpoint %d, want the engine's default NMax 500", got[len(got)-1])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("checkpoints not strictly increasing: %v", got)
+		}
+	}
+}
+
+func TestRunStrategyPreCancelled(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cs, err := RunStrategy(ctx, p, "PWU", Smoke(), 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if cs != nil {
+		t.Fatalf("pre-cancelled run produced a curve set: %+v", cs)
+	}
+}
+
+// TestRunStrategyCancelledMidRunReturnsPartial interrupts the
+// repetition workers mid-run and checks the partial-curve contract:
+// every returned slice has the same truncated length, the samples are a
+// prefix of the full schedule, and the error wraps the context error.
+func TestRunStrategyCancelledMidRunReturnsPartial(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Smoke()
+	sc.PoolSize, sc.NMax, sc.NBatch, sc.EvalEvery = 600, 300, 1, 1
+	sc.Reps = 2
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	cs, err := RunStrategy(ctx, p, "Random", sc, 4)
+	if err == nil {
+		t.Skip("run finished before the deadline; machine too fast for this scale")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if cs != nil {
+		full := checkpointSizes(sc)
+		if len(cs.Samples) >= len(full) {
+			t.Fatalf("interrupted run claims all %d checkpoints", len(full))
+		}
+		if len(cs.RMSE) != len(cs.Samples) || len(cs.CC) != len(cs.Samples) || len(cs.RMSEStd) != len(cs.Samples) {
+			t.Fatalf("ragged partial curves: %d samples, %d rmse, %d cc", len(cs.Samples), len(cs.RMSE), len(cs.CC))
+		}
+		for i := range cs.Samples {
+			if cs.Samples[i] != full[i] {
+				t.Fatalf("partial samples %v are not a prefix of %v", cs.Samples, full)
+			}
+		}
+	}
+	// The repetition workers must all have drained; give the runtime a
+	// moment to retire them.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines %d before, %d after cancelled experiment", before, n)
+	}
+}
+
+// TestWorkerCountInvariance is the regression test for repetition
+// seeding: seeds derive from (seed, rep), never from goroutine launch
+// order, so the averaged curves are identical for any worker count.
+func TestWorkerCountInvariance(t *testing.T) {
+	p, err := bench.ByName("gesummv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *CurveSet {
+		sc := Smoke()
+		sc.Reps = 3
+		sc.Workers = workers
+		sc.Forest.Workers = 1
+		cs, err := RunStrategy(context.Background(), p, "PWU", sc, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+	a, b := run(1), run(4)
+	for i := range a.RMSE {
+		if a.RMSE[i] != b.RMSE[i] || a.CC[i] != b.CC[i] {
+			t.Fatalf("checkpoint %d differs across worker counts: (%v,%v) vs (%v,%v)",
+				i, a.RMSE[i], a.CC[i], b.RMSE[i], b.CC[i])
+		}
+	}
+}
+
+func TestCurveSetCarriesTelemetry(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := RunStrategy(context.Background(), p, "PWU", Smoke(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Reps != Smoke().Reps {
+		t.Fatalf("Reps = %d", cs.Reps)
+	}
+	// Each repetition contributes its events: cold start + iterations.
+	if cs.Stats.Events == 0 {
+		t.Fatal("no telemetry events aggregated")
+	}
+	if cs.Stats.FitTime <= 0 || cs.Stats.EvalTime <= 0 {
+		t.Fatalf("degenerate telemetry: %+v", cs.Stats)
+	}
+	if cs.Stats.EvalRetries != 0 || cs.Stats.EvalSkips != 0 {
+		t.Fatalf("simulated benchmarks cannot fail, yet stats = %+v", cs.Stats)
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
@@ -28,9 +29,12 @@ type Scatter struct {
 
 // SelectionScatter runs Algorithm 1 once with selection recording and
 // returns the Fig. 9 scatter data for the given strategy.
-func SelectionScatter(p bench.Problem, strategyName string, sc Scale, seed uint64) (*Scatter, error) {
+func SelectionScatter(ctx context.Context, p bench.Problem, strategyName string, sc Scale, seed uint64) (*Scatter, error) {
 	r := rng.New(seed)
-	ds := dataset.Build(p, sc.PoolSize, sc.TestSize, r.Split())
+	ds, err := dataset.Build(ctx, p, sc.PoolSize, sc.TestSize, r.Split())
+	if err != nil {
+		return nil, err
+	}
 	strat, err := strategyFor(strategyName, sc.Alpha)
 	if err != nil {
 		return nil, err
@@ -40,7 +44,7 @@ func SelectionScatter(p bench.Problem, strategyName string, sc Scale, seed uint6
 		NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax,
 		Forest: sc.Forest, RecordSelections: true,
 	}
-	res, err := core.Run(p.Space(), ds.Pool, ev, strat, params, r, nil)
+	res, err := core.Run(ctx, p.Space(), ds.Pool, ev, strat, params, r, nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: scatter %s/%s: %w", p.Name(), strategyName, err)
 	}
@@ -69,14 +73,14 @@ type SpeedupRow struct {
 // PWUSpeedups computes Fig. 7 for each problem: run PWU and PBUS,
 // choose the target as the slower method's converged RMSE with 5%
 // headroom, and report cost(PBUS)/cost(PWU).
-func PWUSpeedups(problems []bench.Problem, sc Scale, seed uint64) ([]SpeedupRow, error) {
+func PWUSpeedups(ctx context.Context, problems []bench.Problem, sc Scale, seed uint64) ([]SpeedupRow, error) {
 	rows := make([]SpeedupRow, 0, len(problems))
 	for _, p := range problems {
-		pwu, err := RunStrategy(p, "PWU", sc, seed)
+		pwu, err := RunStrategy(ctx, p, "PWU", sc, seed)
 		if err != nil {
 			return nil, err
 		}
-		pbus, err := RunStrategy(p, "PBUS", sc, seed)
+		pbus, err := RunStrategy(ctx, p, "PBUS", sc, seed)
 		if err != nil {
 			return nil, err
 		}

@@ -6,11 +6,14 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/experiment"
@@ -28,6 +31,9 @@ type Generator struct {
 	OutDir string
 	Stdout io.Writer
 
+	// Ctx cancels the underlying experiment runs; nil means Background.
+	Ctx context.Context
+
 	Kernels []bench.Problem
 	Apps    []bench.Problem
 
@@ -38,6 +44,14 @@ type Generator struct {
 
 	// curve cache: benchmark name -> per-strategy curves.
 	curves map[string][]*experiment.CurveSet
+}
+
+// ctx returns the generator's context.
+func (g *Generator) ctx() context.Context {
+	if g.Ctx != nil {
+		return g.Ctx
+	}
+	return context.Background()
 }
 
 // scaleFor picks the experiment scale for a problem.
@@ -65,7 +79,7 @@ func (g *Generator) curvesFor(p bench.Problem) ([]*experiment.CurveSet, error) {
 	}
 	sc := g.scaleFor(p)
 	fmt.Fprintf(g.Stdout, "    running %s (%d strategies x %d reps)...\n", p.Name(), len(strategies), sc.Reps)
-	cs, err := experiment.RunAll(p, strategies, sc, g.Seed)
+	cs, err := experiment.RunAll(g.ctx(), p, strategies, sc, g.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +326,7 @@ func (g *Generator) Fig6() error {
 		sc := g.Scale
 		sc.Alpha = alpha
 		for _, strat := range []string{"PWU", "PBUS"} {
-			cs, err := experiment.RunStrategy(p, strat, sc, g.Seed)
+			cs, err := experiment.RunStrategy(g.ctx(), p, strat, sc, g.Seed)
 			if err != nil {
 				return err
 			}
@@ -387,7 +401,7 @@ func (g *Generator) Fig8() error {
 	r := rng.New(rng.Mix(g.Seed, 0x516))
 	// Build the surrogate with a PWU active-learning run at the
 	// generator's scale.
-	sur, err := surrogateModel(p, g.Scale, r.Split())
+	sur, err := surrogateModel(g.ctx(), p, g.Scale, r.Split())
 	if err != nil {
 		return err
 	}
@@ -427,7 +441,7 @@ func (g *Generator) Fig9() error {
 	var out strings.Builder
 	var csv []textplot.Series
 	for _, strat := range []string{"PBUS", "PWU"} {
-		s, err := experiment.SelectionScatter(p, strat, g.Scale, rng.Mix(g.Seed, 0x519))
+		s, err := experiment.SelectionScatter(g.ctx(), p, strat, g.Scale, rng.Mix(g.Seed, 0x519))
 		if err != nil {
 			return err
 		}
@@ -448,4 +462,41 @@ func (g *Generator) Fig9() error {
 		return err
 	}
 	return g.writeCSV("fig9_scatter.csv", csv)
+}
+
+// Telemetry writes the run engine's aggregated per-strategy telemetry
+// for every benchmark whose learning curves this generator produced (or
+// runs them now): wall time spent fitting, selecting and evaluating,
+// plus retry/skip counters and pool-cache usage. The artifact lets
+// cmd/report surface where the labeling budget's wall-clock actually
+// went.
+func (g *Generator) Telemetry() error {
+	for _, p := range append(append([]bench.Problem{}, g.Kernels...), g.Apps...) {
+		if _, err := g.curvesFor(p); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(g.curves))
+	for name := range g.curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	b.WriteString("benchmark,strategy,reps,events,fit_ms,select_ms,eval_ms,retries,skips,cached_iterations\n")
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond)) }
+	for _, name := range names {
+		for _, cs := range g.curves[name] {
+			st := cs.Stats
+			b.WriteString(fmt.Sprintf("%s,%s,%d,%d,%s,%s,%s,%d,%d,%d\n",
+				name, cs.Strategy, cs.Reps, st.Events,
+				ms(st.FitTime), ms(st.SelectTime), ms(st.EvalTime),
+				st.EvalRetries, st.EvalSkips, st.CachedIterations))
+		}
+	}
+	if err := g.writeFile("telemetry.csv", b.String()); err != nil {
+		return err
+	}
+	fmt.Fprintln(g.Stdout, "  telemetry: engine timing/retry table written")
+	return nil
 }

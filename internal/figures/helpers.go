@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -16,9 +18,12 @@ func speedupFromCurves(pwu, pbus *experiment.CurveSet) (speedup, target float64,
 
 // surrogateModel builds the Fig. 8 surrogate: the model produced by a
 // PWU active-learning run at the given scale.
-func surrogateModel(p bench.Problem, sc experiment.Scale, r *rng.RNG) (core.Model, error) {
-	ds := dataset.Build(p, sc.PoolSize, sc.TestSize, r.Split())
-	res, err := core.Run(p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: sc.Alpha},
+func surrogateModel(ctx context.Context, p bench.Problem, sc experiment.Scale, r *rng.RNG) (core.Model, error) {
+	ds, err := dataset.Build(ctx, p, sc.PoolSize, sc.TestSize, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(ctx, p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: sc.Alpha},
 		core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax, Forest: sc.Forest}, r.Split(), nil)
 	if err != nil {
 		return nil, err

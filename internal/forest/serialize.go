@@ -17,6 +17,11 @@ type forestDump struct {
 	Features []space.Feature   `json:"features"`
 	OOB      *float64          `json:"oob,omitempty"` // nil encodes NaN
 	Trees    []json.RawMessage `json:"trees"`
+
+	// NextRefresh preserves the partial-update rotation cursor, so a
+	// reloaded forest continues warm updates exactly where the original
+	// left off (required for bit-identical checkpoint/resume).
+	NextRefresh int `json:"next_refresh,omitempty"`
 }
 
 // MarshalJSON encodes the fitted forest, including every tree, the
@@ -24,7 +29,7 @@ type forestDump struct {
 // predict on another machine, the "model portability" the paper's
 // conclusion points at.
 func (f *Forest) MarshalJSON() ([]byte, error) {
-	d := forestDump{Config: f.cfg, Features: f.features}
+	d := forestDump{Config: f.cfg, Features: f.features, NextRefresh: f.nextRefresh}
 	if !math.IsNaN(f.oob) {
 		v := f.oob
 		d.OOB = &v
@@ -70,7 +75,7 @@ func (f *Forest) UnmarshalJSON(data []byte) error {
 	if d.OOB != nil {
 		f.oob = *d.OOB
 	}
-	f.nextRefresh = 0
+	f.nextRefresh = d.NextRefresh % len(trees)
 	f.treeGen = make([]uint64, len(trees))
 	f.cache = nil
 	return nil

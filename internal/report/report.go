@@ -192,7 +192,81 @@ func Generate(dir string, w io.Writer) error {
 		fmt.Fprintln(bw)
 	}
 
+	// --- Run-engine telemetry.
+	if err := telemetrySection(filepath.Join(dir, "telemetry.csv"), bw); err != nil {
+		return err
+	}
+
 	return bw.Flush()
+}
+
+// telemetrySection summarizes the run engine's telemetry artifact
+// (written by cmd/figures): where the wall-clock went per strategy, and
+// whether any evaluations had to be retried or skipped. A missing file
+// is fine — older artifact directories simply predate the telemetry
+// stream.
+func telemetrySection(path string, bw *bufio.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || sc.Text() != "benchmark,strategy,reps,events,fit_ms,select_ms,eval_ms,retries,skips,cached_iterations" {
+		return fmt.Errorf("report: unexpected telemetry header in %s", path)
+	}
+	type agg struct {
+		fit, sel, eval      float64
+		retries, skips      int
+		cachedIters, events int
+	}
+	byStrategy := map[string]*agg{}
+	var order []string
+	for sc.Scan() {
+		parts := strings.Split(sc.Text(), ",")
+		if len(parts) != 10 {
+			continue
+		}
+		a, ok := byStrategy[parts[1]]
+		if !ok {
+			a = &agg{}
+			byStrategy[parts[1]] = a
+			order = append(order, parts[1])
+		}
+		ev, _ := strconv.Atoi(parts[3])
+		fit, _ := strconv.ParseFloat(parts[4], 64)
+		sel, _ := strconv.ParseFloat(parts[5], 64)
+		evalMs, _ := strconv.ParseFloat(parts[6], 64)
+		retries, _ := strconv.Atoi(parts[7])
+		skips, _ := strconv.Atoi(parts[8])
+		cached, _ := strconv.Atoi(parts[9])
+		a.events += ev
+		a.fit += fit
+		a.sel += sel
+		a.eval += evalMs
+		a.retries += retries
+		a.skips += skips
+		a.cachedIters += cached
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(order) == 0 {
+		return nil
+	}
+
+	fmt.Fprintln(bw, "### Run-engine telemetry")
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, "| strategy | iterations | fit s | select s | eval s | retries | skips | pool-cached |")
+	fmt.Fprintln(bw, "|---|---|---|---|---|---|---|---|")
+	for _, name := range order {
+		a := byStrategy[name]
+		fmt.Fprintf(bw, "| %s | %d | %.2f | %.2f | %.2f | %d | %d | %d |\n",
+			name, a.events, a.fit/1000, a.sel/1000, a.eval/1000, a.retries, a.skips, a.cachedIters)
+	}
+	fmt.Fprintln(bw)
+	return nil
 }
 
 func readFile(path string) ([]Series, error) {

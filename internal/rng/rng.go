@@ -11,7 +11,10 @@
 // The zero value of RNG is not usable; construct one with New or Split.
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
 // SplitMix64 passes BigCrush and is the recommended seeder for xoshiro.
@@ -213,6 +216,48 @@ func (r *RNG) Sample(n, k int) []int {
 	}
 	p := r.Perm(n)
 	return p[:k]
+}
+
+// State is the complete serializable state of an RNG. It exists for
+// checkpoint/resume: a generator restored with FromState continues its
+// stream exactly where State was taken, including the cached Box-Muller
+// variate. All fields are exported (and integer-typed) so the state
+// survives JSON round trips bit-exactly.
+type State struct {
+	S        [4]uint64 `json:"s"`
+	Seed     uint64    `json:"seed"`
+	HasGauss bool      `json:"has_gauss,omitempty"`
+	// Gauss carries the cached second normal variate as raw IEEE-754
+	// bits; encoding it as a JSON float would be exact too, but bits
+	// make the invariant impossible to break by a formatting change.
+	Gauss uint64 `json:"gauss,omitempty"`
+}
+
+// State exports the generator's full state. The generator is not
+// advanced.
+func (r *RNG) State() State {
+	return State{
+		S:        r.s,
+		Seed:     r.seed,
+		HasGauss: r.hasGauss,
+		Gauss:    math.Float64bits(r.gauss),
+	}
+}
+
+// FromState reconstructs a generator from an exported State. The
+// returned generator produces exactly the continuation of the stream the
+// state was taken from. It returns an error for the all-zero xoshiro
+// state, which is unreachable from New and marks a corrupt snapshot.
+func FromState(st State) (*RNG, error) {
+	if st.S[0]|st.S[1]|st.S[2]|st.S[3] == 0 {
+		return nil, errors.New("rng: all-zero state")
+	}
+	return &RNG{
+		s:        st.S,
+		seed:     st.Seed,
+		hasGauss: st.HasGauss,
+		gauss:    math.Float64frombits(st.Gauss),
+	}, nil
 }
 
 // Bool returns true with probability p.

@@ -1,0 +1,72 @@
+// Package runstate persists core.Snapshot checkpoints to disk.
+//
+// The sink writes atomically (temp file + rename in the destination
+// directory), so a crash mid-write can never corrupt the previous
+// checkpoint: the file at the configured path is always either the old
+// complete snapshot or the new complete snapshot.
+package runstate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// FileSink returns a core.Params.Checkpoint function that persists each
+// snapshot atomically to path. The parent directory must exist.
+func FileSink(path string) func(*core.Snapshot) error {
+	return func(snap *core.Snapshot) error {
+		return Save(path, snap)
+	}
+}
+
+// Save writes the snapshot atomically to path.
+func Save(path string, snap *core.Snapshot) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("runstate: encoding snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runstate: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Any failure from here on removes the temp file; the previous
+	// checkpoint at path is untouched until the final rename.
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("runstate: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("runstate: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runstate: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runstate: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot previously written by Save/FileSink.
+func Load(path string) (*core.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runstate: reading snapshot: %w", err)
+	}
+	var snap core.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("runstate: decoding %s: %w", path, err)
+	}
+	return &snap, nil
+}

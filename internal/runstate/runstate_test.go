@@ -1,0 +1,96 @@
+package runstate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+func sampleSnapshot() *core.Snapshot {
+	st := rng.New(7).State()
+	return &core.Snapshot{
+		Version:      1,
+		Iteration:    3,
+		PoolSize:     100,
+		PoolHash:     0xdeadbeef,
+		Remaining:    []int{0, 2, 5},
+		TrainConfigs: []space.Config{{1, 2}, {3, 4}},
+		TrainY:       []float64{0.5, 1.25},
+		RNG:          st,
+		Model:        json.RawMessage(`{"trees":null}`),
+		FailedCost:   0.75,
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	snap := sampleSnapshot()
+	if err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatalf("round trip changed snapshot:\n%+v\n%+v", snap, got)
+	}
+}
+
+func TestFileSinkOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	sink := FileSink(path)
+	first := sampleSnapshot()
+	if err := sink(first); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleSnapshot()
+	second.Iteration = 9
+	if err := sink(second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 9 {
+		t.Fatalf("loaded iteration %d, want the newer snapshot", got.Iteration)
+	}
+	// No temp files survive a successful publish.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestSaveMissingDirFails(t *testing.T) {
+	if err := Save(filepath.Join(t.TempDir(), "no", "such", "dir", "x.ckpt"), sampleSnapshot()); err == nil {
+		t.Fatal("save into a missing directory succeeded")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.ckpt")); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}

@@ -19,6 +19,7 @@
 package transfer
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
@@ -81,16 +82,19 @@ type Result struct {
 
 // Run executes the experiment: source and target must share a parameter
 // space (e.g. a SPAPT kernel and its WithPlatform variant).
-func Run(source, target bench.Problem, cfg Config, seed uint64) (*Result, error) {
+func Run(ctx context.Context, source, target bench.Problem, cfg Config, seed uint64) (*Result, error) {
 	if source.Space().NumParams() != target.Space().NumParams() {
 		return nil, fmt.Errorf("transfer: source and target spaces differ")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	r := rng.New(seed)
 
 	// Build the source model with PWU active learning on the source
 	// platform.
 	srcPool := source.Space().SampleConfigs(r.Split(), cfg.PoolSize)
-	srcRes, err := core.Run(source.Space(), srcPool, bench.Evaluator(source, r.Split()),
+	srcRes, err := core.Run(ctx, source.Space(), srcPool, bench.Evaluator(source, r.Split()),
 		core.PWU{Alpha: cfg.Alpha},
 		core.Params{NInit: 10, NBatch: 5, NMax: cfg.SourceBudget, Forest: cfg.Forest}, r.Split(), nil)
 	if err != nil {
@@ -99,7 +103,10 @@ func Run(source, target bench.Problem, cfg Config, seed uint64) (*Result, error)
 	srcModel := srcRes.Model
 
 	// Target data: pool + pre-measured test set.
-	ds := dataset.Build(target, cfg.PoolSize, cfg.TestSize, r.Split())
+	ds, err := dataset.Build(ctx, target, cfg.PoolSize, cfg.TestSize, r.Split())
+	if err != nil {
+		return nil, err
+	}
 	testX := ds.TestX()
 
 	res := &Result{
@@ -139,7 +146,11 @@ func Run(source, target bench.Problem, cfg Config, seed uint64) (*Result, error)
 	labY := make([]float64, maxBudget)
 	for i, idx := range order {
 		labX[i] = target.Space().Encode(ds.Pool[idx])
-		labY[i] = ev.Evaluate(ds.Pool[idx])
+		y, err := ev.Evaluate(ctx, ds.Pool[idx])
+		if err != nil {
+			return nil, fmt.Errorf("transfer: target label %d/%d: %w", i+1, maxBudget, err)
+		}
+		labY[i] = y
 	}
 	stackedLabX := stack(labX)
 

@@ -1,6 +1,7 @@
 package transfer
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -41,14 +42,14 @@ func TestSpacesMustMatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(src, other, smallCfg(), 1); err == nil {
+	if _, err := Run(context.Background(), src, other, smallCfg(), 1); err == nil {
 		t.Fatal("mismatched spaces accepted")
 	}
 }
 
 func TestTransferBeatsColdAtSmallBudgets(t *testing.T) {
 	src, tgt := pair(t, "atax")
-	res, err := Run(src, tgt, smallCfg(), 2)
+	res, err := Run(context.Background(), src, tgt, smallCfg(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestTargetLabelsStillHelp(t *testing.T) {
 	// More target labels should reduce the transfer model's error
 	// compared to zero-shot source-only application.
 	src, tgt := pair(t, "mvt")
-	res, err := Run(src, tgt, smallCfg(), 3)
+	res, err := Run(context.Background(), src, tgt, smallCfg(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +85,11 @@ func TestTargetLabelsStillHelp(t *testing.T) {
 
 func TestDeterministic(t *testing.T) {
 	src, tgt := pair(t, "atax")
-	a, err := Run(src, tgt, smallCfg(), 4)
+	a, err := Run(context.Background(), src, tgt, smallCfg(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(src, tgt, smallCfg(), 4)
+	b, err := Run(context.Background(), src, tgt, smallCfg(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,12 +104,12 @@ func TestBudgetValidation(t *testing.T) {
 	src, tgt := pair(t, "atax")
 	cfg := smallCfg()
 	cfg.TargetBudgets = []int{1}
-	if _, err := Run(src, tgt, cfg, 5); err == nil {
+	if _, err := Run(context.Background(), src, tgt, cfg, 5); err == nil {
 		t.Fatal("degenerate budget accepted")
 	}
 	cfg = smallCfg()
 	cfg.TargetBudgets = []int{100000}
-	if _, err := Run(src, tgt, cfg, 5); err == nil {
+	if _, err := Run(context.Background(), src, tgt, cfg, 5); err == nil {
 		t.Fatal("oversized budget accepted")
 	}
 }

@@ -17,11 +17,11 @@
 package tuning
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/forest"
 	"repro/internal/rng"
 	"repro/internal/space"
@@ -39,7 +39,7 @@ type Annotator interface {
 // TrueAnnotator labels by (noisy) measurement of the benchmark — the
 // ground-truth tuner.
 type TrueAnnotator struct {
-	ev core.Evaluator
+	ev *bench.NoisyEvaluator
 }
 
 // NewTrueAnnotator builds the ground-truth annotator for p, drawing
@@ -48,8 +48,12 @@ func NewTrueAnnotator(p bench.Problem, r *rng.RNG) *TrueAnnotator {
 	return &TrueAnnotator{ev: bench.Evaluator(p, r)}
 }
 
-// Annotate implements Annotator.
-func (a *TrueAnnotator) Annotate(c space.Config) float64 { return a.ev.Evaluate(c) }
+// Annotate implements Annotator. The simulated measurement cannot fail
+// under a background context.
+func (a *TrueAnnotator) Annotate(c space.Config) float64 {
+	y, _ := a.ev.Evaluate(context.Background(), c)
+	return y
+}
 
 // Name implements Annotator.
 func (a *TrueAnnotator) Name() string { return "ground truth" }

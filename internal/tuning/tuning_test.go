@@ -1,6 +1,7 @@
 package tuning
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -68,8 +69,11 @@ func TestSurrogateTuningComparable(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := rng.New(7)
-	ds := dataset.Build(p, 600, 100, r.Split())
-	res, err := core.Run(p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: 0.05},
+	ds, err := dataset.Build(context.Background(), p, 600, 100, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(context.Background(), p.Space(), ds.Pool, bench.Evaluator(p, r.Split()), core.PWU{Alpha: 0.05},
 		core.Params{NInit: 10, NBatch: 10, NMax: 150, Forest: forest.Config{NumTrees: 32}}, r.Split(), nil)
 	if err != nil {
 		t.Fatal(err)
