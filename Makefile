@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet test race train-equivalence resume-equivalence bench bench-train figures figures-paper report examples clean
+.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence bench bench-train bench-campaign figures figures-paper report examples clean
 
 all: build check
 
@@ -9,8 +9,9 @@ build:
 
 # check is the pre-commit gate: static analysis, the full test suite
 # under the race detector (the forest/experiment layers are heavily
-# concurrent), and the two equivalence gates (training engine, resume).
-check: vet race train-equivalence resume-equivalence
+# concurrent), and the three equivalence gates (training engine, resume,
+# campaign engine).
+check: vet race train-equivalence resume-equivalence campaign-equivalence
 
 # train-equivalence gates the presorted-column training engine: the
 # builder-equivalence property tests (presorted vs reference builder must
@@ -26,6 +27,14 @@ train-equivalence:
 # snapshot JSON round trip, and the pipeline-level Tune resume).
 resume-equivalence:
 	go test -race -run 'TestResumeEquivalence|TestCheckpointCadence|TestTuneCheckpointResume|TestTuneRejectsForeignCheckpoint' ./internal/core ./internal/autotune ./internal/runstate
+
+# campaign-equivalence gates the campaign engine: the work-stealing
+# drain must reproduce the retained sequential RunAll path bit for bit
+# for every strategy and any worker count, the single-flight dataset
+# cache must build each repetition's dataset exactly once, and the
+# cached checkpoint-evaluation path must equal PredictBatch exactly.
+campaign-equivalence:
+	go test -race -run 'TestCampaignMatchesSequential|TestCampaignWorkerInvariance|TestCampaignDatasetCacheHits|TestCampaignWarmUpdate|TestAggregatePartialRepsCount|TestPredictCachedMatchesBatch|TestSchedulerRunsEveryTaskOnce|TestDatasetCacheSingleFlight' ./internal/experiment ./internal/forest ./internal/campaign
 
 vet:
 	go vet ./...
@@ -44,6 +53,12 @@ bench:
 # presorted engine vs the retained reference builder.
 bench-train:
 	go test -bench 'TreeFit|ForestFit' -benchmem -run xxx .
+
+# Campaign-engine benchmarks: the work-stealing grid drain vs the
+# retained sequential path on a Fig. 2-shaped grid, plus the CSV writer.
+bench-campaign:
+	go test -bench 'BenchmarkCampaignFig2' -benchmem -run xxx .
+	go test -bench 'WriteCSV' -benchmem -run xxx ./internal/dataset
 
 # Regenerate every table and figure of the paper (quick, shape-preserving).
 figures:

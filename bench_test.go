@@ -139,6 +139,57 @@ func BenchmarkFig2KernelRMSE(b *testing.B) {
 	}
 }
 
+// campaignFig2Problems is the Fig. 2 subset the campaign benchmarks
+// drain: four kernels, every strategy, figScale repetitions.
+func campaignFig2Problems(b *testing.B) []bench.Problem {
+	b.Helper()
+	ks := bench.Kernels()
+	if len(ks) < 4 {
+		b.Fatalf("only %d kernels", len(ks))
+	}
+	return ks[:4]
+}
+
+// BenchmarkCampaignFig2 measures the campaign engine on a Fig. 2-shaped
+// grid: (4 kernels × 6 strategies × reps) drained by the work-stealing
+// pool with single-flight dataset sharing. Compare against
+// BenchmarkCampaignFig2Sequential — same grid, same bit-identical
+// curves, run strategy-by-strategy — for the engine's speedup.
+func BenchmarkCampaignFig2(b *testing.B) {
+	sc := figScale()
+	problems := campaignFig2Problems(b)
+	for i := 0; i < b.N; i++ {
+		items := make([]experiment.CampaignItem, len(problems))
+		for j, p := range problems {
+			items[j] = experiment.CampaignItem{Problem: p, Scale: sc}
+		}
+		res, err := experiment.RunCampaign(context.Background(), experiment.Campaign{
+			Items: items, Strategies: core.StrategyNames(), Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Scheduler.Utilization, "utilization")
+		b.ReportMetric(float64(res.Datasets.Hits), "dataset_cache_hits")
+		b.ReportMetric(float64(res.Scheduler.Steals), "steals")
+	}
+}
+
+// BenchmarkCampaignFig2Sequential is the retained pre-campaign path over
+// the same grid: strategies in series, repetitions in parallel, one
+// dataset build per (strategy, repetition).
+func BenchmarkCampaignFig2Sequential(b *testing.B) {
+	sc := figScale()
+	problems := campaignFig2Problems(b)
+	for i := 0; i < b.N; i++ {
+		for _, p := range problems {
+			if _, err := experiment.RunAllSequential(context.Background(), p, core.StrategyNames(), sc, 42); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkFig3KernelCC regenerates Fig. 3's series: cumulative labeling
 // cost per kernel per strategy, and reports MaxU's cost blow-up over
 // BestPerf (the paper's most expensive vs cheapest samplers).

@@ -4,12 +4,20 @@
 //
 // Usage:
 //
-//	figures [-scale quick|paper] [-only fig2,fig7,telemetry] [-out out] [-seed 42]
+//	figures [-scale quick|paper] [-only fig2,fig7,telemetry] [-out out]
+//	        [-seed 42] [-workers 0] [-warm]
 //
 // At -scale quick (the default) each figure takes seconds to minutes and
 // preserves the paper's qualitative shape; -scale paper runs the full
 // §III-D protocol (7000-point pools, 500 labels, 10 repetitions) and can
 // take hours for the complete set.
+//
+// Learning-curve figures drain their whole (problem × strategy ×
+// repetition) grid through the campaign engine; -workers bounds its
+// worker pool (0 = GOMAXPROCS). -warm refits the surrogate incrementally
+// between iterations and serves checkpoint evaluations from the forest's
+// prediction cache (a different — faster — variant of Algorithm 1, not
+// the paper's cold refit).
 package main
 
 import (
@@ -35,6 +43,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset (table1..table4, fig2..fig9, telemetry); empty = all")
 	outDir := flag.String("out", "out", "output directory")
 	seed := flag.Uint64("seed", 42, "root seed")
+	workers := flag.Int("workers", 0, "campaign worker pool size; 0 = GOMAXPROCS")
+	warm := flag.Bool("warm", false, "refit the surrogate incrementally and cache checkpoint evaluations")
 	flag.Parse()
 
 	var sc experiment.Scale
@@ -49,6 +59,12 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+	sc.Workers = *workers
+	sc.WarmUpdate = *warm
+	if appScale != nil {
+		appScale.Workers = *workers
+		appScale.WarmUpdate = *warm
 	}
 
 	want := map[string]bool{}
@@ -72,6 +88,7 @@ func main() {
 		Kernels:  bench.Kernels(),
 		Apps:     bench.Applications(),
 		AppScale: appScale,
+		Workers:  *workers,
 	}
 
 	artifacts := []struct {

@@ -1,0 +1,191 @@
+// Package campaign is the throughput engine behind full figure
+// campaigns: the grids of (problem × strategy × repetition) runs that
+// reproduce Figs. 2–7. The experiment harness used to drain such a grid
+// strategy-by-strategy with parallelism only across one strategy's
+// repetitions, so a 12-kernel × 6-strategy × 10-rep campaign exposed at
+// most Reps-way concurrency at any moment. This package flattens the
+// whole grid into independent tasks and drains them through one global
+// bounded worker pool with work stealing, so the machine stays saturated
+// from the first task to the last.
+//
+// Two pieces:
+//
+//   - Run: a work-stealing scheduler. Tasks are dealt round-robin onto
+//     per-worker deques; each worker pops its own deque LIFO and, when
+//     empty, steals the oldest task from a victim's deque. Because every
+//     task derives all randomness from its own (seed, rep) coordinates —
+//     never from the schedule — results are bit-identical for any worker
+//     count, so stealing is pure throughput.
+//
+//   - Datasets: a single-flight dataset cache. The six strategies of one
+//     repetition share the rep seed and therefore the exact same
+//     pool/test draw; the cache builds (and pre-measures) each distinct
+//     dataset exactly once and hands the other strategies the built copy
+//     together with the already-encoded test matrix.
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// normWorkers applies the pool-size defaults: <= 0 means GOMAXPROCS,
+// never more workers than tasks.
+func normWorkers(workers, tasks int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Task is one cell of the campaign grid. Problem, Strategy and Rep are
+// the cell's coordinates (indices into the caller's grid, kept for
+// diagnostics); Run executes the cell.
+//
+// Run must honor ctx itself: the scheduler keeps draining queued tasks
+// after a cancellation so that every cell can record its partial result
+// (or its cancellation error) exactly as the pre-campaign harness did,
+// and relies on cancelled tasks returning quickly.
+type Task struct {
+	Problem, Strategy, Rep int
+	Run                    func(ctx context.Context)
+}
+
+// Stats describes one scheduler drain.
+type Stats struct {
+	// Workers is the pool size actually used.
+	Workers int
+
+	// Tasks is the number of tasks executed (always len(tasks)).
+	Tasks int
+
+	// Steals counts tasks a worker took from another worker's deque.
+	Steals int
+
+	// Busy is the summed wall time workers spent inside Task.Run;
+	// Wall is the drain's elapsed time. Utilization = Busy/(Wall·Workers)
+	// — 1.0 means no worker ever idled.
+	Busy, Wall  time.Duration
+	Utilization float64
+}
+
+// deque is one worker's task queue. The owner pops newest-first (LIFO,
+// keeping its cache-warm tail local); thieves steal oldest-first so a
+// steal grabs the task the owner would have reached last. A mutex is
+// plenty here: tasks are whole experiment repetitions (milliseconds to
+// minutes), so queue operations are nowhere near contention.
+type deque struct {
+	mu    sync.Mutex
+	tasks []Task
+}
+
+func (d *deque) popTail() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return Task{}, false
+	}
+	t := d.tasks[len(d.tasks)-1]
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	return t, true
+}
+
+func (d *deque) stealHead() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return Task{}, false
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// Run drains tasks through a pool of workers goroutines and returns the
+// drain's scheduling statistics. workers <= 0 defaults to GOMAXPROCS and
+// is capped at len(tasks). Run returns once every task has completed.
+//
+// No new tasks are produced while draining, so a worker exits when its
+// own deque and every victim's deque are empty; tasks already popped
+// elsewhere are by then running or finished.
+func Run(ctx context.Context, workers int, tasks []Task) Stats {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(tasks)
+	workers = normWorkers(workers, n)
+	st := Stats{Workers: workers, Tasks: n}
+	if n == 0 {
+		return st
+	}
+
+	// Deal tasks round-robin so each deque interleaves strategies and
+	// repetitions; the expensive cells spread across workers up front and
+	// stealing only has to smooth the remainder.
+	deques := make([]deque, workers)
+	for i, t := range tasks {
+		w := i % workers
+		deques[w].tasks = append(deques[w].tasks, t)
+	}
+
+	var steals atomic.Int64
+	var busy atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				t, ok := deques[self].popTail()
+				if !ok {
+					// Scan victims round-robin starting past self.
+					for off := 1; off < workers && !ok; off++ {
+						t, ok = deques[(self+off)%workers].stealHead()
+					}
+					if !ok {
+						return
+					}
+					steals.Add(1)
+				}
+				ts := time.Now()
+				t.Run(ctx)
+				busy.Add(int64(time.Since(ts)))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st.Steals = int(steals.Load())
+	st.Busy = time.Duration(busy.Load())
+	st.Wall = time.Since(start)
+	if st.Wall > 0 && workers > 0 {
+		st.Utilization = float64(st.Busy) / (float64(st.Wall) * float64(workers))
+	}
+	return st
+}
+
+// Add accumulates another drain's statistics (for harnesses that run
+// several campaigns and report one summary). Utilization is re-derived
+// from the accumulated busy/wall totals.
+func (s *Stats) Add(o Stats) {
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.Tasks += o.Tasks
+	s.Steals += o.Steals
+	s.Busy += o.Busy
+	s.Wall += o.Wall
+	if s.Wall > 0 && s.Workers > 0 {
+		s.Utilization = float64(s.Busy) / (float64(s.Wall) * float64(s.Workers))
+	}
+}

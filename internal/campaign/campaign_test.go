@@ -1,0 +1,187 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// TestSchedulerRunsEveryTaskOnce drains an uneven grid at several pool
+// sizes and checks each task ran exactly once.
+func TestSchedulerRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 37
+		counts := make([]atomic.Int64, n)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task{
+				Problem: i / 10, Strategy: i % 3, Rep: i % 5,
+				Run: func(context.Context) { counts[i].Add(1) },
+			}
+		}
+		st := Run(context.Background(), workers, tasks)
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+		if st.Tasks != n {
+			t.Fatalf("workers=%d: Stats.Tasks = %d, want %d", workers, st.Tasks, n)
+		}
+		if workers <= n && st.Workers != normWorkers(workers, n) {
+			t.Fatalf("workers=%d: Stats.Workers = %d", workers, st.Workers)
+		}
+		if st.Utilization < 0 || st.Utilization > 1.000001 {
+			t.Fatalf("workers=%d: utilization %v out of range", workers, st.Utilization)
+		}
+	}
+}
+
+// TestSchedulerSteals forces an imbalanced load (one worker's deque holds
+// a long task plus many short ones) and checks that the other workers
+// steal the stranded short tasks instead of idling.
+func TestSchedulerSteals(t *testing.T) {
+	const n = 16
+	tasks := make([]Task, n)
+	var ran atomic.Int64
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Run: func(context.Context) {
+			// Task 14 is the tail of worker 0's deque under a 2-worker
+			// round-robin deal, so worker 0 pops it first (LIFO) and
+			// sleeps while its 7 remaining tasks sit stranded.
+			if i == n-2 {
+				time.Sleep(50 * time.Millisecond)
+			}
+			ran.Add(1)
+		}}
+	}
+	// Worker 1 drains its own 8 trivial tasks in microseconds and must
+	// steal worker 0's stranded tasks instead of idling out the sleep.
+	st := Run(context.Background(), 2, tasks)
+	if ran.Load() != n {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), n)
+	}
+	if st.Steals == 0 {
+		t.Fatal("imbalanced drain recorded no steals")
+	}
+}
+
+// TestSchedulerEmpty checks the degenerate drains.
+func TestSchedulerEmpty(t *testing.T) {
+	st := Run(context.Background(), 4, nil)
+	if st.Tasks != 0 || st.Steals != 0 {
+		t.Fatalf("empty drain stats = %+v", st)
+	}
+}
+
+// TestDatasetCacheSingleFlight issues many concurrent Gets for the same
+// key and checks the build runs exactly once while every caller receives
+// the same dataset and encoded test matrix.
+func TestDatasetCacheSingleFlight(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewDatasets()
+	key := Key{Problem: p.Name(), Seed: 9, PoolSize: 40, TestSize: 20}
+	var builds atomic.Int64
+	build := func() (*dataset.Dataset, error) {
+		builds.Add(1)
+		return dataset.Build(context.Background(), p, key.PoolSize, key.TestSize, rng.New(key.Seed))
+	}
+
+	const callers = 16
+	dss := make([]*dataset.Dataset, callers)
+	txs := make([][][]float64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ds, tx, err := c.Get(context.Background(), key, build)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			dss[i], txs[i] = ds, tx
+		}(i)
+	}
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("build ran %d times", got)
+	}
+	for i := 1; i < callers; i++ {
+		if dss[i] != dss[0] || &txs[i][0] != &txs[0][0] {
+			t.Fatalf("caller %d got a different dataset or test matrix", i)
+		}
+	}
+	st := c.Stats()
+	if st.Builds != 1 || st.Hits != callers-1 {
+		t.Fatalf("stats = %+v, want 1 build / %d hits", st, callers-1)
+	}
+	if st.LabelsSaved != (callers-1)*key.TestSize {
+		t.Fatalf("LabelsSaved = %d", st.LabelsSaved)
+	}
+}
+
+// TestDatasetCacheDistinctKeys checks keys do not collide.
+func TestDatasetCacheDistinctKeys(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewDatasets()
+	get := func(seed uint64) *dataset.Dataset {
+		ds, _, err := c.Get(context.Background(), Key{Problem: p.Name(), Seed: seed, PoolSize: 30, TestSize: 10},
+			func() (*dataset.Dataset, error) {
+				return dataset.Build(context.Background(), p, 30, 10, rng.New(seed))
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	a, b := get(1), get(2)
+	if a == b {
+		t.Fatal("different seeds shared a cache slot")
+	}
+	if st := c.Stats(); st.Builds != 2 || st.Hits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDatasetCacheFailedBuildEvicted checks a failed build reports its
+// error and leaves the slot free for a retry.
+func TestDatasetCacheFailedBuildEvicted(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewDatasets()
+	key := Key{Problem: p.Name(), Seed: 3, PoolSize: 20, TestSize: 10}
+	boom := errors.New("boom")
+	if _, _, err := c.Get(context.Background(), key, func() (*dataset.Dataset, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	ds, tx, err := c.Get(context.Background(), key, func() (*dataset.Dataset, error) {
+		return dataset.Build(context.Background(), p, key.PoolSize, key.TestSize, rng.New(key.Seed))
+	})
+	if err != nil || ds == nil || len(tx) != key.TestSize {
+		t.Fatalf("retry after failed build: ds=%v err=%v", ds, err)
+	}
+	if st := c.Stats(); st.Builds != 2 {
+		t.Fatalf("stats = %+v, want 2 builds", st)
+	}
+}

@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Key identifies one dataset draw. Every strategy of one repetition
+// derives its dataset from the same (problem, rep-seed, sizes) tuple, so
+// tasks sharing a Key would build bit-identical datasets — the cache
+// builds each exactly once.
+type Key struct {
+	Problem            string
+	Seed               uint64
+	PoolSize, TestSize int
+}
+
+// CacheStats counts dataset-cache traffic. For a campaign of S
+// strategies × R repetitions on one problem, Builds = R and
+// Hits = (S−1)·R: every strategy but the builder reuses each
+// repetition's dataset, skipping the re-measurement of all TestSize
+// labels.
+type CacheStats struct {
+	Builds, Hits int
+
+	// LabelsSaved is the number of test-set measurements the hits
+	// avoided (Hits × TestSize per hit).
+	LabelsSaved int
+}
+
+// dsEntry is one single-flight cache slot. done closes when the build
+// finishes; waiters read ds/testX/err only after that.
+type dsEntry struct {
+	done  chan struct{}
+	ds    *dataset.Dataset
+	testX [][]float64
+	err   error
+}
+
+// Datasets is a single-flight cache of built datasets plus their encoded
+// test matrices. The first Get for a Key runs build; concurrent and
+// later Gets for the same Key block until that build finishes and share
+// the result. Safe for concurrent use. Cached datasets are shared
+// read-only: the run engine never mutates the pool slice, and the test
+// matrix rows must not be written by callers.
+type Datasets struct {
+	mu      sync.Mutex
+	entries map[Key]*dsEntry
+	stats   CacheStats
+}
+
+// NewDatasets returns an empty cache.
+func NewDatasets() *Datasets {
+	return &Datasets{entries: map[Key]*dsEntry{}}
+}
+
+// Get returns the dataset for key, building it via build on the first
+// request. The encoded test matrix is computed once per dataset and
+// shared by every requester. A failed build is reported to all waiters
+// and then evicted so a later independent request can retry; waiting on
+// someone else's in-flight build is abandoned when ctx is cancelled.
+func (c *Datasets) Get(ctx context.Context, key Key, build func() (*dataset.Dataset, error)) (*dataset.Dataset, [][]float64, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		c.stats.LabelsSaved += key.TestSize
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.ds, e.testX, e.err
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	e := &dsEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.stats.Builds++
+	c.mu.Unlock()
+
+	ds, err := build()
+	if err != nil {
+		e.err = err
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	} else {
+		e.ds = ds
+		e.testX = ds.TestX()
+	}
+	close(e.done)
+	return e.ds, e.testX, e.err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Datasets) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Add accumulates another cache's counters.
+func (s *CacheStats) Add(o CacheStats) {
+	s.Builds += o.Builds
+	s.Hits += o.Hits
+	s.LabelsSaved += o.LabelsSaved
+}

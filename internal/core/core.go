@@ -141,6 +141,19 @@ type PoolPredictor interface {
 	PredictPool(rows []int) (mu, sigma []float64)
 }
 
+// CachedBatchPredictor is an optional Model capability: predict a fixed
+// feature matrix (identity-keyed, e.g. a held-out test set evaluated at
+// every checkpoint) from cached per-tree predictions, recomputing only
+// what a partial Update invalidated. Implementations must return exactly
+// the values PredictBatch would return for the same matrix.
+// forest.Forest implements it; the experiment harness uses it for
+// checkpoint evaluation during warm-update runs.
+type CachedBatchPredictor interface {
+	// PredictCached returns prediction means and uncertainties for every
+	// row of X.
+	PredictCached(X [][]float64) (mu, sigma []float64)
+}
+
 // FailureAction selects what the engine does with a configuration whose
 // evaluation keeps failing after the retry budget is spent.
 type FailureAction int

@@ -81,22 +81,31 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(bw, strings.Join(header, ",")); err != nil {
 		return err
 	}
-	writeRow := func(c space.Config, set string, y string) error {
-		var cells []string
+	// One reused row buffer; cells are appended directly so a paper-scale
+	// dump (10 000 rows) allocates nothing per row.
+	row := make([]byte, 0, 128)
+	writeRow := func(c space.Config, set string, y float64, hasY bool) error {
+		row = row[:0]
 		for _, lvl := range c {
-			cells = append(cells, strconv.Itoa(lvl))
+			row = strconv.AppendInt(row, int64(lvl), 10)
+			row = append(row, ',')
 		}
-		cells = append(cells, set, y)
-		_, err := fmt.Fprintln(bw, strings.Join(cells, ","))
+		row = append(row, set...)
+		row = append(row, ',')
+		if hasY {
+			row = strconv.AppendFloat(row, y, 'g', -1, 64)
+		}
+		row = append(row, '\n')
+		_, err := bw.Write(row)
 		return err
 	}
 	for _, c := range d.Pool {
-		if err := writeRow(c, "pool", ""); err != nil {
+		if err := writeRow(c, "pool", 0, false); err != nil {
 			return err
 		}
 	}
 	for i, c := range d.Test {
-		if err := writeRow(c, "test", strconv.FormatFloat(d.TestY[i], 'g', -1, 64)); err != nil {
+		if err := writeRow(c, "test", d.TestY[i], true); err != nil {
 			return err
 		}
 	}

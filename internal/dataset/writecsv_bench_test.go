@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// benchDataset builds one mid-sized split for the CSV benchmarks.
+func benchDataset(b *testing.B) *Dataset {
+	b.Helper()
+	p, err := bench.ByName("atax")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := Build(context.Background(), p, 1400, 600, rng.New(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// TestWriteCSVMatchesNaive pins the optimized writer to the baseline's
+// exact output bytes.
+func TestWriteCSVMatchesNaive(t *testing.T) {
+	p, err := bench.ByName("kripke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Build(context.Background(), p, 60, 40, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fast, naive strings.Builder
+	if err := ds.WriteCSV(&fast); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCSVNaive(ds, &naive); err != nil {
+		t.Fatal(err)
+	}
+	if fast.String() != naive.String() {
+		t.Fatal("optimized WriteCSV output diverged from the baseline")
+	}
+}
+
+// BenchmarkWriteCSV measures the row-buffer writer: cells append into
+// one reused byte slice, so allocs/op stays flat in the row count.
+func BenchmarkWriteCSV(b *testing.B) {
+	ds := benchDataset(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ds.WriteCSV(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteCSVNaive is the retained baseline: a fresh []string of
+// cells joined and Fprintln'd per row, as WriteCSV used to do. The gap
+// to BenchmarkWriteCSV is the per-row allocation cost the buffer reuse
+// removed.
+func BenchmarkWriteCSVNaive(b *testing.B) {
+	ds := benchDataset(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := writeCSVNaive(ds, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func writeCSVNaive(d *Dataset, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	sp := d.Problem.Space()
+	var header []string
+	for i := 0; i < sp.NumParams(); i++ {
+		header = append(header, sp.Param(i).Name)
+	}
+	header = append(header, "set", "y")
+	if _, err := fmt.Fprintln(bw, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	writeRow := func(c space.Config, set string, y string) error {
+		var cells []string
+		for _, lvl := range c {
+			cells = append(cells, strconv.Itoa(lvl))
+		}
+		cells = append(cells, set, y)
+		_, err := fmt.Fprintln(bw, strings.Join(cells, ","))
+		return err
+	}
+	for _, c := range d.Pool {
+		if err := writeRow(c, "pool", ""); err != nil {
+			return err
+		}
+	}
+	for i, c := range d.Test {
+		if err := writeRow(c, "test", strconv.FormatFloat(d.TestY[i], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

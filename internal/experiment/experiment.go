@@ -52,8 +52,15 @@ type Scale struct {
 	// forest with the Forest configuration (see core.Params.Fitter).
 	Fitter core.Fitter
 
-	// Workers bounds repetition-level parallelism; <= 0 means
-	// GOMAXPROCS.
+	// WarmUpdate refreshes the surrogate incrementally between
+	// iterations instead of refitting from scratch (see
+	// core.Params.WarmUpdate). Warm runs keep one forest alive across
+	// checkpoints, which lets the harness serve every checkpoint's
+	// test-set evaluation from the forest's per-tree prediction cache.
+	WarmUpdate bool
+
+	// Workers bounds run-level parallelism (repetitions in RunStrategy,
+	// the whole task grid in RunCampaign); <= 0 means GOMAXPROCS.
 	Workers int
 }
 
@@ -179,16 +186,23 @@ type repResult struct {
 // paper's "10 random experiments" protocol.
 //
 // Cancelling ctx drains the repetition workers and returns the partial
-// curve set truncated to the checkpoints every repetition reached,
+// curve set averaged over the repetitions that reached at least one
+// checkpoint, truncated to the checkpoints all of them reached,
 // alongside an error wrapping ctx.Err(); the partial set is nil when no
 // repetition reached its first checkpoint.
 func RunStrategy(ctx context.Context, p bench.Problem, strategyName string, sc Scale, seed uint64) (*CurveSet, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	checkpoints := checkpointSizes(sc)
-	reps := make([]repResult, sc.Reps)
+	reps := runReps(ctx, p, strategyName, sc, seed, buildDataset)
+	return aggregate(ctx, p.Name(), strategyName, sc, reps)
+}
 
+// runReps drains sc.Reps repetitions through a bounded worker pool.
+// Repetition seeds derive from (seed, rep), never from the launch
+// schedule, so results are identical for any Workers.
+func runReps(ctx context.Context, p bench.Problem, strategyName string, sc Scale, seed uint64, prov datasetProvider) []repResult {
+	reps := make([]repResult, sc.Reps)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, sc.workers())
 	for rep := 0; rep < sc.Reps; rep++ {
@@ -197,53 +211,75 @@ func RunStrategy(ctx context.Context, p bench.Problem, strategyName string, sc S
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			// Worker seeds derive from (seed, rep), never from the
-			// launch schedule, so results are identical for any Workers.
-			reps[rep] = runOnce(ctx, p, strategyName, sc, rng.Mix(seed, uint64(rep)))
+			reps[rep] = runOnce(ctx, p, strategyName, sc, rng.Mix(seed, uint64(rep)), prov)
 		}(rep)
 	}
 	wg.Wait()
+	return reps
+}
 
+// aggregate averages repetition results into one curve set.
+//
+// On cancellation, only the repetitions that reached at least one
+// checkpoint contribute, averaged over the common prefix of checkpoints
+// they all reached; CurveSet.Reps records how many contributed. The set
+// is nil only when no repetition contributed. Engine telemetry is merged
+// from every repetition either way — interrupted repetitions spent their
+// fit/select/eval time too.
+func aggregate(ctx context.Context, benchmark, strategyName string, sc Scale, reps []repResult) (*CurveSet, error) {
+	checkpoints := checkpointSizes(sc)
 	cancelled := false
+	var cancelErr error
 	for _, rr := range reps {
 		if rr.err == nil {
 			continue
 		}
 		if errors.Is(rr.err, context.Canceled) || errors.Is(rr.err, context.DeadlineExceeded) {
 			cancelled = true
+			if cancelErr == nil {
+				cancelErr = rr.err
+			}
 			continue
 		}
 		return nil, rr.err
 	}
+	if cancelled && ctx.Err() != nil {
+		cancelErr = ctx.Err()
+	}
 
-	// On cancellation every repetition contributes only the checkpoints
-	// it reached; average over the common prefix.
+	contributing := reps
 	usable := len(checkpoints)
 	if cancelled {
+		contributing = nil
 		for _, rr := range reps {
+			if len(rr.rmse) > 0 {
+				contributing = append(contributing, rr)
+			}
+		}
+		if len(contributing) == 0 {
+			return nil, fmt.Errorf("experiment: %s/%s interrupted before the first checkpoint: %w",
+				benchmark, strategyName, cancelErr)
+		}
+		for _, rr := range contributing {
 			if len(rr.rmse) < usable {
 				usable = len(rr.rmse)
 			}
 		}
-		if usable == 0 {
-			return nil, fmt.Errorf("experiment: %s/%s interrupted before the first checkpoint: %w",
-				p.Name(), strategyName, ctx.Err())
-		}
 	}
 
 	cs := &CurveSet{
-		Benchmark: p.Name(), Strategy: strategyName, Alpha: sc.Alpha,
+		Benchmark: benchmark, Strategy: strategyName, Alpha: sc.Alpha,
 		Samples: checkpoints[:usable],
 		RMSE:    make([]float64, usable),
 		RMSEStd: make([]float64, usable),
 		CC:      make([]float64, usable),
-		Reps:    sc.Reps,
+		Reps:    len(contributing),
 	}
 	for i := 0; i < usable; i++ {
 		var rmse, cc []float64
-		for rep := 0; rep < sc.Reps; rep++ {
-			rmse = append(rmse, reps[rep].rmse[i])
-			cc = append(cc, reps[rep].cc[i])
+		for _, rr := range contributing {
+			rmse = append(rmse, rr.rmse[i])
+			cc = append(cc, rr.cc[i])
 		}
 		cs.RMSE[i] = mean(rmse)
 		cs.RMSEStd[i] = stddev(rmse)
@@ -254,18 +290,50 @@ func RunStrategy(ctx context.Context, p bench.Problem, strategyName string, sc S
 	}
 	if cancelled {
 		return cs, fmt.Errorf("experiment: %s/%s interrupted at checkpoint %d/%d: %w",
-			p.Name(), strategyName, usable, len(checkpoints), ctx.Err())
+			benchmark, strategyName, usable, len(checkpoints), cancelErr)
 	}
 	return cs, nil
+}
+
+// datasetProvider hands runOnce its repetition dataset and encoded test
+// matrix. r is the repetition's root generator: a provider must consume
+// exactly one r.Split() whether it builds the dataset or serves a cached
+// one, so the generator stream feeding the evaluator and the engine is
+// bit-identical across providers.
+type datasetProvider func(ctx context.Context, p bench.Problem, sc Scale, repSeed uint64, r *rng.RNG) (*dataset.Dataset, [][]float64, error)
+
+// buildDataset is the direct provider: build the repetition's dataset in
+// place, as standalone RunStrategy calls always have.
+func buildDataset(ctx context.Context, p bench.Problem, sc Scale, _ uint64, r *rng.RNG) (*dataset.Dataset, [][]float64, error) {
+	ds, err := dataset.Build(ctx, p, sc.PoolSize, sc.TestSize, r.Split())
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, ds.TestX(), nil
+}
+
+// testPredict evaluates the surrogate on the held-out test matrix. Warm
+// runs keep one forest alive across checkpoints with only a few trees
+// refreshed in between, so the cached per-tree path recomputes just
+// those trees (bit-identical to PredictBatch); cold refits see a fresh
+// model at every checkpoint, where a cache could never be reused and the
+// plain batch path avoids carrying one.
+func testPredict(m core.Model, testX [][]float64, warm bool) []float64 {
+	if cp, ok := m.(core.CachedBatchPredictor); warm && ok {
+		mu, _ := cp.PredictCached(testX)
+		return mu
+	}
+	mu, _ := m.PredictBatch(testX)
+	return mu
 }
 
 // runOnce executes one repetition and returns the per-checkpoint RMSE@α
 // and CC. A cancellation returns the checkpoints reached so far with the
 // ctx error.
-func runOnce(ctx context.Context, p bench.Problem, strategyName string, sc Scale, seed uint64) repResult {
+func runOnce(ctx context.Context, p bench.Problem, strategyName string, sc Scale, seed uint64, prov datasetProvider) repResult {
 	var rr repResult
 	r := rng.New(seed)
-	ds, err := dataset.Build(ctx, p, sc.PoolSize, sc.TestSize, r.Split())
+	ds, testX, err := prov(ctx, p, sc, seed, r)
 	if err != nil {
 		rr.err = err
 		return rr
@@ -275,7 +343,6 @@ func runOnce(ctx context.Context, p bench.Problem, strategyName string, sc Scale
 		rr.err = err
 		return rr
 	}
-	testX := ds.TestX()
 
 	checkpoints := checkpointSizes(sc)
 	want := map[int]bool{}
@@ -292,14 +359,15 @@ func runOnce(ctx context.Context, p bench.Problem, strategyName string, sc Scale
 			return nil
 		}
 		lastRecorded = n
-		pred, _ := st.Model.PredictBatch(testX)
+		pred := testPredict(st.Model, testX, sc.WarmUpdate)
 		rr.rmse = append(rr.rmse, metrics.RMSEAtAlpha(ds.TestY, pred, sc.Alpha))
 		rr.cc = append(rr.cc, metrics.CumulativeCost(st.TrainY))
 		return nil
 	}
 
 	ev := bench.Evaluator(p, r.Split())
-	params := core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax, Forest: sc.Forest, Fitter: sc.Fitter}
+	params := core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax,
+		Forest: sc.Forest, Fitter: sc.Fitter, WarmUpdate: sc.WarmUpdate}
 	res, err := core.Run(ctx, p.Space(), ds.Pool, ev, strat, params, r, obs)
 	if res != nil {
 		rr.stats = res.Telemetry()
@@ -346,15 +414,40 @@ func checkpointSizes(sc Scale) []int {
 	return out
 }
 
-// RunAll runs every strategy in names on p and returns the curve sets in
-// order. Each strategy sees the same experiment seed so repetition r of
-// every strategy works on an identically-distributed (not identical)
-// dataset draw.
+// RunAll runs every strategy in names on p and returns the curve sets
+// in strategy order. The (strategy × repetition) grid drains through the
+// campaign engine (see RunCampaign): one global work-stealing worker
+// pool, with each repetition's dataset built once and shared by every
+// strategy. Each strategy sees the same experiment seed, so repetition r
+// of every strategy works on the same dataset draw; the curves are
+// bit-identical to RunAllSequential's for any worker count.
 //
-// On cancellation it returns the curve sets completed so far (plus the
-// interrupted strategy's partial set, when it reached any checkpoint)
-// together with the error.
+// On cancellation it returns the curve sets that reached any checkpoint
+// (partial sets, see RunStrategy) together with the first error.
 func RunAll(ctx context.Context, p bench.Problem, names []string, sc Scale, seed uint64) ([]*CurveSet, error) {
+	res, err := RunCampaign(ctx, Campaign{
+		Items:      []CampaignItem{{Problem: p, Scale: sc}},
+		Strategies: names,
+		Seed:       seed,
+		Workers:    sc.Workers,
+	})
+	if res == nil {
+		return nil, err
+	}
+	out := make([]*CurveSet, 0, len(names))
+	for _, cs := range res.Curves[p.Name()] {
+		if cs != nil {
+			out = append(out, cs)
+		}
+	}
+	return out, err
+}
+
+// RunAllSequential is the pre-campaign drain: strategies run one after
+// another, each parallel only across its own repetitions, each
+// repetition building its own dataset. Retained as the baseline the
+// campaign engine's equivalence gate and benchmarks compare against.
+func RunAllSequential(ctx context.Context, p bench.Problem, names []string, sc Scale, seed uint64) ([]*CurveSet, error) {
 	out := make([]*CurveSet, 0, len(names))
 	for _, name := range names {
 		cs, err := RunStrategy(ctx, p, name, sc, seed)

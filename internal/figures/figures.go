@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/campaign"
 	"repro/internal/experiment"
 	"repro/internal/machine"
 	"repro/internal/rng"
@@ -42,8 +43,17 @@ type Generator struct {
 	// experiment.QuickApp).
 	AppScale *experiment.Scale
 
+	// Workers bounds the campaign engine's worker pool; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+
 	// curve cache: benchmark name -> per-strategy curves.
 	curves map[string][]*experiment.CurveSet
+
+	// sched and dstats accumulate the campaign drains' telemetry, for
+	// the Telemetry artifact.
+	sched  campaign.Stats
+	dstats campaign.CacheStats
 }
 
 // ctx returns the generator's context.
@@ -69,22 +79,54 @@ func (g *Generator) scaleFor(p bench.Problem) experiment.Scale {
 // strategies is the figure ordering of the compared methods.
 var strategies = []string{"PWU", "PBUS", "BRS", "BestPerf", "MaxU", "Random"}
 
-// curvesFor runs (or returns cached) all-strategy curves for p.
-func (g *Generator) curvesFor(p bench.Problem) ([]*experiment.CurveSet, error) {
+// ensureCurves runs one campaign covering every given problem that has
+// no cached curves yet. Batching the problems into a single drain keeps
+// the worker pool saturated across problem boundaries (the last
+// repetitions of one kernel overlap the first of the next) instead of
+// paying a sync barrier per problem.
+func (g *Generator) ensureCurves(problems []bench.Problem) error {
 	if g.curves == nil {
 		g.curves = map[string][]*experiment.CurveSet{}
 	}
-	if cs, ok := g.curves[p.Name()]; ok {
-		return cs, nil
+	var items []experiment.CampaignItem
+	tasks := 0
+	for _, p := range problems {
+		if _, ok := g.curves[p.Name()]; ok {
+			continue
+		}
+		items = append(items, experiment.CampaignItem{Problem: p, Scale: g.scaleFor(p)})
+		tasks += g.scaleFor(p).Reps * len(strategies)
 	}
-	sc := g.scaleFor(p)
-	fmt.Fprintf(g.Stdout, "    running %s (%d strategies x %d reps)...\n", p.Name(), len(strategies), sc.Reps)
-	cs, err := experiment.RunAll(g.ctx(), p, strategies, sc, g.Seed)
+	if len(items) == 0 {
+		return nil
+	}
+	fmt.Fprintf(g.Stdout, "    campaign: %d problems x %d strategies (%d tasks)...\n",
+		len(items), len(strategies), tasks)
+	res, err := experiment.RunCampaign(g.ctx(), experiment.Campaign{
+		Items: items, Strategies: strategies, Seed: g.Seed, Workers: g.Workers,
+	})
+	if res != nil {
+		g.sched.Add(res.Scheduler)
+		g.dstats.Add(res.Datasets)
+	}
 	if err != nil {
+		return err
+	}
+	for _, it := range items {
+		g.curves[it.Problem.Name()] = res.Curves[it.Problem.Name()]
+	}
+	fmt.Fprintf(g.Stdout, "    campaign: %d workers %.0f%% busy, %d steals, datasets %d built / %d served from cache\n",
+		res.Scheduler.Workers, 100*res.Scheduler.Utilization, res.Scheduler.Steals,
+		res.Datasets.Builds, res.Datasets.Hits)
+	return nil
+}
+
+// curvesFor runs (or returns cached) all-strategy curves for p.
+func (g *Generator) curvesFor(p bench.Problem) ([]*experiment.CurveSet, error) {
+	if err := g.ensureCurves([]bench.Problem{p}); err != nil {
 		return nil, err
 	}
-	g.curves[p.Name()] = cs
-	return cs, nil
+	return g.curves[p.Name()], nil
 }
 
 // writeFile writes content into OutDir/name.
@@ -228,6 +270,9 @@ func rmseVsCostSeries(cs []*experiment.CurveSet) []textplot.Series {
 // paper; we use the generator's Scale.Alpha, 0.05 by default, and note
 // it in the title).
 func (g *Generator) Fig2() error {
+	if err := g.ensureCurves(g.Kernels); err != nil {
+		return err
+	}
 	for _, p := range g.Kernels {
 		cs, err := g.curvesFor(p)
 		if err != nil {
@@ -249,6 +294,9 @@ func (g *Generator) Fig2() error {
 
 // Fig3 renders CC-vs-samples for the 12 kernels.
 func (g *Generator) Fig3() error {
+	if err := g.ensureCurves(g.Kernels); err != nil {
+		return err
+	}
 	for _, p := range g.Kernels {
 		cs, err := g.curvesFor(p)
 		if err != nil {
@@ -270,6 +318,9 @@ func (g *Generator) Fig3() error {
 
 // Fig4 renders RMSE and CC vs samples for the two applications.
 func (g *Generator) Fig4() error {
+	if err := g.ensureCurves(g.Apps); err != nil {
+		return err
+	}
 	for _, p := range g.Apps {
 		cs, err := g.curvesFor(p)
 		if err != nil {
@@ -296,6 +347,9 @@ func (g *Generator) Fig4() error {
 
 // Fig5 renders RMSE vs cumulative cost for the two applications.
 func (g *Generator) Fig5() error {
+	if err := g.ensureCurves(g.Apps); err != nil {
+		return err
+	}
 	for _, p := range g.Apps {
 		cs, err := g.curvesFor(p)
 		if err != nil {
@@ -353,10 +407,14 @@ func (g *Generator) Fig6() error {
 // Fig7 renders the PWU-vs-PBUS cumulative-cost speedup bars for all
 // benchmarks, reusing the cached curves.
 func (g *Generator) Fig7() error {
+	all := append(append([]bench.Problem{}, g.Kernels...), g.Apps...)
+	if err := g.ensureCurves(all); err != nil {
+		return err
+	}
 	var names []string
 	var speedups []float64
 	var lines []string
-	for _, p := range append(append([]bench.Problem{}, g.Kernels...), g.Apps...) {
+	for _, p := range all {
 		cs, err := g.curvesFor(p)
 		if err != nil {
 			return err
@@ -471,10 +529,8 @@ func (g *Generator) Fig9() error {
 // cmd/report surface where the labeling budget's wall-clock actually
 // went.
 func (g *Generator) Telemetry() error {
-	for _, p := range append(append([]bench.Problem{}, g.Kernels...), g.Apps...) {
-		if _, err := g.curvesFor(p); err != nil {
-			return err
-		}
+	if err := g.ensureCurves(append(append([]bench.Problem{}, g.Kernels...), g.Apps...)); err != nil {
+		return err
 	}
 	names := make([]string, 0, len(g.curves))
 	for name := range g.curves {
@@ -497,6 +553,19 @@ func (g *Generator) Telemetry() error {
 	if err := g.writeFile("telemetry.csv", b.String()); err != nil {
 		return err
 	}
-	fmt.Fprintln(g.Stdout, "  telemetry: engine timing/retry table written")
+
+	// The campaign drains' scheduler and dataset-cache summary, for
+	// cmd/report: how parallel the figure runs actually were and how
+	// much labeling the single-flight cache avoided.
+	var cb strings.Builder
+	cb.WriteString("workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved\n")
+	cb.WriteString(fmt.Sprintf("%d,%d,%d,%s,%s,%.4f,%d,%d,%d\n",
+		g.sched.Workers, g.sched.Tasks, g.sched.Steals,
+		ms(g.sched.Busy), ms(g.sched.Wall), g.sched.Utilization,
+		g.dstats.Builds, g.dstats.Hits, g.dstats.LabelsSaved))
+	if err := g.writeFile("campaign.csv", cb.String()); err != nil {
+		return err
+	}
+	fmt.Fprintln(g.Stdout, "  telemetry: engine timing/retry and campaign tables written")
 	return nil
 }

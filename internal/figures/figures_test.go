@@ -2,6 +2,7 @@ package figures
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -88,9 +89,10 @@ func TestFig2And3ShareRuns(t *testing.T) {
 	if err := g.Fig3(); err != nil {
 		t.Fatal(err)
 	}
-	// The cache means "running atax" appears exactly once.
-	if n := strings.Count(out.String(), "running atax"); n != 1 {
-		t.Fatalf("atax ran %d times, want 1 (cache broken)", n)
+	// The cache means the campaign drains the kernel grid exactly once;
+	// Fig3 must find every curve already cached.
+	if n := strings.Count(out.String(), "campaign: 1 problems"); n != 1 {
+		t.Fatalf("atax campaign ran %d times, want 1 (cache broken):\n%s", n, out.String())
 	}
 	f2 := mustRead(t, g, "fig2_atax.txt")
 	for _, s := range strategies {
@@ -149,6 +151,41 @@ func TestFig7(t *testing.T) {
 	f7 := mustRead(t, g, "fig7_speedup.csv")
 	if !strings.Contains(f7, "atax") {
 		t.Fatalf("fig7 csv missing atax: %s", f7)
+	}
+}
+
+func TestTelemetryArtifacts(t *testing.T) {
+	g, _ := testGenerator(t)
+	g.Apps = nil
+	if err := g.Telemetry(); err != nil {
+		t.Fatal(err)
+	}
+	tele := mustRead(t, g, "telemetry.csv")
+	if !strings.HasPrefix(tele, "benchmark,strategy,reps,events,") {
+		t.Fatalf("telemetry.csv malformed:\n%s", tele)
+	}
+	if !strings.Contains(tele, "atax,PWU,") {
+		t.Fatalf("telemetry.csv missing atax rows:\n%s", tele)
+	}
+	camp := mustRead(t, g, "campaign.csv")
+	if !strings.HasPrefix(camp, "workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved\n") {
+		t.Fatalf("campaign.csv malformed:\n%s", camp)
+	}
+	// One atax drain: 6 strategies x Smoke reps tasks, one dataset build
+	// per rep, the other five strategies hitting the cache.
+	sc := experiment.Smoke()
+	fields := strings.Split(strings.TrimSpace(strings.SplitN(camp, "\n", 2)[1]), ",")
+	if len(fields) != 9 {
+		t.Fatalf("campaign.csv row has %d fields:\n%s", len(fields), camp)
+	}
+	if want := fmt.Sprint(6 * sc.Reps); fields[1] != want {
+		t.Fatalf("campaign.csv tasks = %s, want %s", fields[1], want)
+	}
+	if want := fmt.Sprint(sc.Reps); fields[6] != want {
+		t.Fatalf("campaign.csv dataset builds = %s, want %s", fields[6], want)
+	}
+	if want := fmt.Sprint(5 * sc.Reps); fields[7] != want {
+		t.Fatalf("campaign.csv dataset hits = %s, want %s", fields[7], want)
 	}
 }
 

@@ -95,8 +95,11 @@ type Forest struct {
 	treeGen []uint64
 
 	// cache holds per-tree predictions over a fixed pool matrix; see
-	// BindPool / PredictPool.
+	// BindPool / PredictPool. aux holds the same kind of cache for
+	// additional identity-keyed matrices (e.g. the held-out test set);
+	// see PredictCached.
 	cache *poolCache
+	aux   []*poolCache
 }
 
 // Fit trains a forest on (X, y) with the column description features.

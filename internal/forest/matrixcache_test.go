@@ -1,0 +1,91 @@
+package forest
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// assertCachedMatchesBatch checks PredictCached against PredictBatch bit
+// for bit over the full matrix.
+func assertCachedMatchesBatch(t *testing.T, f *Forest, X [][]float64) {
+	t.Helper()
+	mu, sigma := f.PredictCached(X)
+	bmu, bsigma := f.PredictBatch(X)
+	if len(mu) != len(X) || len(sigma) != len(X) {
+		t.Fatalf("PredictCached returned %d/%d values for %d rows", len(mu), len(sigma), len(X))
+	}
+	for i := range X {
+		if mu[i] != bmu[i] || sigma[i] != bsigma[i] {
+			t.Fatalf("row %d: cached (%v,%v) batch (%v,%v)", i, mu[i], sigma[i], bmu[i], bsigma[i])
+		}
+	}
+}
+
+// TestPredictCachedMatchesBatch is the bit-identity contract of the
+// checkpoint-evaluation cache: first fill, steady-state reuse, and the
+// partial-update reconciliation must all reproduce PredictBatch exactly.
+func TestPredictCachedMatchesBatch(t *testing.T) {
+	f, pool := fitWithPool(t, 16)
+	testX, _ := friedman(rng.New(31), 120)
+
+	// First call fills the cache, second serves from it.
+	assertCachedMatchesBatch(t, f, testX)
+	if len(f.aux) != 1 {
+		t.Fatalf("%d auxiliary caches after first call, want 1", len(f.aux))
+	}
+	assertCachedMatchesBatch(t, f, testX)
+	if len(f.aux) != 1 {
+		t.Fatalf("repeat call grew auxiliary caches to %d", len(f.aux))
+	}
+
+	// The pool slot and the auxiliary slot coexist.
+	f.BindPool(pool)
+	assertPoolMatchesBatch(t, f, pool, []int{0, 17, 299})
+	assertCachedMatchesBatch(t, f, testX)
+	if len(f.aux) != 1 {
+		t.Fatalf("BindPool disturbed auxiliary caches: %d", len(f.aux))
+	}
+
+	// Partial updates invalidate a quarter of the ensemble; the cached
+	// path must recompute exactly those slots and stay bit-identical.
+	X, y := friedman(rng.New(32), 220)
+	for i := 0; i < 5; i++ {
+		if err := f.Update(X, y, rng.New(uint64(33+i))); err != nil {
+			t.Fatal(err)
+		}
+		assertCachedMatchesBatch(t, f, testX)
+		assertPoolMatchesBatch(t, f, pool, []int{1, 42, 250})
+	}
+}
+
+// TestPredictCachedPoolIdentity checks that PredictCached on the matrix
+// already bound via BindPool reuses the pool slot instead of duplicating
+// the cache.
+func TestPredictCachedPoolIdentity(t *testing.T) {
+	f, pool := fitWithPool(t, 8)
+	f.BindPool(pool)
+	assertCachedMatchesBatch(t, f, pool)
+	if len(f.aux) != 0 {
+		t.Fatalf("PredictCached duplicated the bound pool into %d aux caches", len(f.aux))
+	}
+}
+
+// TestPredictCachedDistinctMatrices keeps two auxiliary matrices cached
+// at once, as a run evaluating both a validation and a test split would.
+func TestPredictCachedDistinctMatrices(t *testing.T) {
+	f, _ := fitWithPool(t, 8)
+	a, _ := friedman(rng.New(35), 60)
+	bX, _ := friedman(rng.New(36), 40)
+	assertCachedMatchesBatch(t, f, a)
+	assertCachedMatchesBatch(t, f, bX)
+	if len(f.aux) != 2 {
+		t.Fatalf("%d auxiliary caches, want 2", len(f.aux))
+	}
+	// Revisiting both still serves from the existing slots.
+	assertCachedMatchesBatch(t, f, a)
+	assertCachedMatchesBatch(t, f, bX)
+	if len(f.aux) != 2 {
+		t.Fatalf("revisits grew auxiliary caches to %d", len(f.aux))
+	}
+}

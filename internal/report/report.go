@@ -197,7 +197,45 @@ func Generate(dir string, w io.Writer) error {
 		return err
 	}
 
+	// --- Campaign-engine telemetry.
+	if err := campaignSection(filepath.Join(dir, "campaign.csv"), bw); err != nil {
+		return err
+	}
+
 	return bw.Flush()
+}
+
+// campaignSection summarizes the campaign engine's drain statistics
+// (written by cmd/figures): pool size, utilization, steals, and how much
+// labeling the single-flight dataset cache avoided. A missing file is
+// fine — older artifact directories predate the campaign engine.
+func campaignSection(path string, bw *bufio.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || sc.Text() != "workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved" {
+		return fmt.Errorf("report: unexpected campaign header in %s", path)
+	}
+	if !sc.Scan() {
+		return sc.Err()
+	}
+	parts := strings.Split(sc.Text(), ",")
+	if len(parts) != 9 {
+		return nil
+	}
+	util, _ := strconv.ParseFloat(parts[5], 64)
+	fmt.Fprintln(bw, "### Campaign engine")
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "- workers: %s, tasks: %s, steals: %s\n", parts[0], parts[1], parts[2])
+	fmt.Fprintf(bw, "- worker utilization: %.0f%% (busy %s ms of wall %s ms per worker)\n", 100*util, parts[3], parts[4])
+	fmt.Fprintf(bw, "- dataset cache: %s built, %s served from cache (%s pool/test labels not re-measured)\n",
+		parts[6], parts[7], parts[8])
+	fmt.Fprintln(bw)
+	return nil
 }
 
 // telemetrySection summarizes the run engine's telemetry artifact

@@ -60,6 +60,8 @@ func TestGenerate(t *testing.T) {
 	write("fig4_kripke_rmse.csv", "series,x,y\nPWU,300,1.5\nRandom,300,2.5\n")
 	write("fig7_speedup.csv", "benchmark,speedup,target\natax,4.0,0.2\nmm,unreached,\n")
 	write("fig8_tuning.csv", "series,x,y\nground truth,80,0.027\nsurrogate model,80,0.027\n")
+	write("campaign.csv", "workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved\n"+
+		"8,288,17,52000.000,7100.000,0.9155,24,120,18000\n")
 
 	var buf bytes.Buffer
 	if err := Generate(dir, &buf); err != nil {
@@ -72,6 +74,10 @@ func TestGenerate(t *testing.T) {
 		"| atax | 4.0 | 0.2 |",
 		"Geometric-mean speedup 4.00x",
 		"ground truth: best true time found 0.027",
+		"Campaign engine",
+		"workers: 8, tasks: 288, steals: 17",
+		"worker utilization: 92%",
+		"24 built, 120 served from cache (18000 pool/test labels not re-measured)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q:\n%s", want, out)
