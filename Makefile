@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence bench bench-train bench-campaign figures figures-paper report examples clean
+.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak bench bench-train bench-campaign figures figures-paper report examples clean
 
 all: build check
 
@@ -9,9 +9,10 @@ build:
 
 # check is the pre-commit gate: static analysis, the full test suite
 # under the race detector (the forest/experiment layers are heavily
-# concurrent), and the three equivalence gates (training engine, resume,
-# campaign engine).
-check: vet race train-equivalence resume-equivalence campaign-equivalence
+# concurrent), the three equivalence gates (training engine, resume,
+# campaign engine), and the chaos gates (fault-injection equivalence and
+# the mixed-fault race soak).
+check: vet race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak
 
 # train-equivalence gates the presorted-column training engine: the
 # builder-equivalence property tests (presorted vs reference builder must
@@ -35,6 +36,24 @@ resume-equivalence:
 # cached checkpoint-evaluation path must equal PredictBatch exactly.
 campaign-equivalence:
 	go test -race -run 'TestCampaignMatchesSequential|TestCampaignWorkerInvariance|TestCampaignDatasetCacheHits|TestCampaignWarmUpdate|TestAggregatePartialRepsCount|TestPredictCachedMatchesBatch|TestSchedulerRunsEveryTaskOnce|TestDatasetCacheSingleFlight' ./internal/experiment ./internal/forest ./internal/campaign
+
+# chaos-equivalence gates the fault injector against the run engine: a
+# transient-only scenario fully covered by retries must leave every
+# strategy's learning curves — and the end-to-end tuning outcome —
+# bit-identical to the fault-free run, because injected errors never
+# consume the evaluator's measurement stream and retries never touch
+# the loop generator.
+chaos-equivalence:
+	go test -race -run 'TestChaosEquivalenceAllStrategies|TestInjectedErrorPreservesInnerStream|TestInjectorDeterminism|TestTuneChaosTransparent' ./internal/experiment ./internal/chaos ./internal/autotune
+
+# chaos-soak gates the hardened drain under the race detector: a mixed
+# hang/panic/error scenario across the whole campaign grid must drain
+# cleanly — hangs cut by the per-evaluation timeout, panics quarantined
+# to their own cell, transient errors retried — with zero goroutine
+# leaks, and cancellation must interrupt in-flight hangs and backoffs
+# promptly.
+chaos-soak:
+	go test -race -run 'TestChaosSoakMixedFaults|TestCampaignQuarantinesPanickedCells|TestSchedulerQuarantinesPanics|TestTimeoutCutsHangAsRetryable|TestNoGoroutineLeakCancelDuringHang|TestBackoffInterruptedByCancel|TestBackoffClampedByTimeout' ./internal/experiment ./internal/campaign ./internal/core
 
 vet:
 	go vet ./...

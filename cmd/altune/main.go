@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/experiment"
 	"repro/internal/textplot"
 )
@@ -99,11 +100,11 @@ func main() {
 			fmt.Sprintf("%s: RMSE@%.2f vs #samples", p.Name(), sc.Alpha), series, 72, 18, true))
 	}
 	if err != nil {
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "altune:", err)
-	os.Exit(1)
+	os.Exit(cli.ExitCode(err))
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/calibration"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/forest"
@@ -83,5 +84,5 @@ func fitterFor(cfg forest.Config) core.Fitter {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "calibrate:", err)
-	os.Exit(1)
+	os.Exit(cli.ExitCode(err))
 }

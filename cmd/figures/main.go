@@ -31,6 +31,7 @@ import (
 	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/experiment"
 	"repro/internal/figures"
 )
@@ -123,5 +124,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "figures:", err)
-	os.Exit(1)
+	os.Exit(cli.ExitCode(err))
 }

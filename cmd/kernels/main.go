@@ -18,6 +18,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/cli"
 	"repro/internal/rng"
 	"repro/internal/spapt"
 	"repro/internal/textplot"
@@ -101,5 +102,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "kernels:", err)
-	os.Exit(1)
+	os.Exit(cli.ExitCode(err))
 }

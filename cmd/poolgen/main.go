@@ -18,6 +18,7 @@ import (
 	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/rng"
 )
@@ -91,5 +92,5 @@ func hash(s string) uint64 {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "poolgen:", err)
-	os.Exit(1)
+	os.Exit(cli.ExitCode(err))
 }

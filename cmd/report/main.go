@@ -14,6 +14,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/cli"
 	"repro/internal/report"
 )
 
@@ -42,5 +43,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "report:", err)
-	os.Exit(1)
+	os.Exit(cli.ExitCode(err))
 }

@@ -16,6 +16,7 @@ import (
 	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/machine"
 	"repro/internal/transfer"
 )
@@ -89,5 +90,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "transfer:", err)
-	os.Exit(1)
+	os.Exit(cli.ExitCode(err))
 }

@@ -6,12 +6,19 @@
 // Usage:
 //
 //	tune -bench atax [-budget 200] [-searcher anneal] [-verify 5] [-seed 42]
-//	     [-checkpoint tune.ckpt] [-every 10] [-retries 2]
+//	     [-checkpoint tune.ckpt] [-every 10] [-retries 2] [-timeout 30s]
+//	     [-chaos err=0.1,hang=0.01]
 //
 // With -checkpoint, the expensive model-building phase is resumable:
-// SIGINT drains the current measurement, writes a snapshot, and exits;
-// re-running the same command continues bit-identically from the
-// snapshot instead of restarting the phase.
+// SIGINT drains the current measurement, writes a snapshot, and exits
+// 130; re-running the same command continues bit-identically from the
+// snapshot instead of restarting the phase. A corrupt checkpoint is
+// warned about and ignored for a cold start.
+//
+// -timeout bounds each measurement: an evaluation that outlives it is
+// cut off and retried like any transient failure. -chaos injects
+// deterministic faults into the model phase (see -h for the grammar),
+// for drilling the failure policy.
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 
 	"repro/internal/autotune"
 	"repro/internal/bench"
+	"repro/internal/chaos"
+	"repro/internal/cli"
 	"repro/internal/core"
 )
 
@@ -42,9 +51,15 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "snapshot file making the model phase resumable")
 	every := flag.Int("every", 10, "iterations between snapshots (with -checkpoint)")
 	retries := flag.Int("retries", 0, "retry budget per failed measurement")
+	timeout := flag.Duration("timeout", 0, "per-measurement deadline; a hung run is cut off and retried (0 = none)")
+	chaosSpec := flag.String("chaos", "", "fault-injection scenario for the model phase;\n"+chaos.Grammar)
 	flag.Parse()
 
 	p, err := bench.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	scenario, err := chaos.Parse(*chaosSpec)
 	if err != nil {
 		fatal(err)
 	}
@@ -55,7 +70,12 @@ func main() {
 	cfg.Verify = *verify
 	cfg.CheckpointPath = *checkpoint
 	cfg.CheckpointEvery = *every
-	cfg.Failure = core.FailurePolicy{MaxRetries: *retries, Backoff: 100 * time.Millisecond, MaxBackoff: 5 * time.Second}
+	cfg.Failure = core.FailurePolicy{MaxRetries: *retries, Backoff: 100 * time.Millisecond,
+		MaxBackoff: 5 * time.Second, Timeout: *timeout}
+	cfg.Chaos = scenario
+	cfg.Logf = func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "tune: "+format+"\n", args...)
+	}
 
 	fmt.Printf("tuning %s (%s)\n", p.Name(), p.Description())
 	fmt.Printf("pipeline: %d real runs -> %s search x %d -> verify %d\n\n",
@@ -65,12 +85,15 @@ func main() {
 			fmt.Printf("resuming model phase from %s\n\n", *checkpoint)
 		}
 	}
+	if scenario.Active() {
+		fmt.Printf("chaos scenario: %s\n\n", scenario)
+	}
 
 	out, err := autotune.Tune(ctx, p, cfg, *seed)
 	if err != nil {
 		if ctx.Err() != nil && *checkpoint != "" {
 			fmt.Fprintf(os.Stderr, "tune: interrupted; progress saved, rerun the same command to resume from %s\n", *checkpoint)
-			os.Exit(1)
+			os.Exit(cli.ExitInterrupt)
 		}
 		fatal(err)
 	}
@@ -84,5 +107,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tune:", err)
-	os.Exit(1)
+	os.Exit(cli.ExitCode(err))
 }

@@ -12,11 +12,13 @@ package autotune
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 
 	"repro/internal/bench"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/forest"
 	"repro/internal/metrics"
@@ -68,6 +70,24 @@ type Config struct {
 	// CheckpointEvery is the snapshot cadence in iterations; <= 0 means
 	// every 10.
 	CheckpointEvery int
+
+	// Chaos injects deterministic faults into the model phase's
+	// evaluator (see chaos.Scenario) — a drill harness for the failure
+	// policy. The verify and baseline measurements stay fault-free. The
+	// zero scenario injects nothing.
+	Chaos chaos.Scenario
+
+	// Logf, when set, receives warnings the pipeline can recover from —
+	// e.g. a corrupt checkpoint being discarded for a cold start. Nil
+	// discards them.
+	Logf func(format string, args ...interface{})
+}
+
+// logf emits a recoverable-warning line when a sink is configured.
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
 }
 
 // Default returns a balanced configuration.
@@ -150,20 +170,36 @@ func Tune(ctx context.Context, p bench.Problem, cfg Config, seed uint64) (*Outco
 	}
 	strat := core.PWU{Alpha: cfg.Alpha}
 
+	// The model phase optionally runs under fault injection; verify and
+	// baseline measurements below use the clean evaluator.
+	var modelEv core.Evaluator = ev
+	if cfg.Chaos.Active() {
+		modelEv = chaos.Evaluator(cfg.Chaos, rng.Mix(cfg.Chaos.Seed, seed), ev)
+	}
+
 	var res *core.Result
 	loopR := r.Split() // consumed even on resume, to keep later phases' streams aligned
+	var snap *core.Snapshot
 	if cfg.CheckpointPath != "" {
 		if _, statErr := os.Stat(cfg.CheckpointPath); statErr == nil {
-			snap, loadErr := runstate.Load(cfg.CheckpointPath)
+			var loadErr error
+			snap, loadErr = runstate.Load(cfg.CheckpointPath)
 			if loadErr != nil {
-				return nil, fmt.Errorf("autotune: loading checkpoint: %w", loadErr)
+				if !errors.Is(loadErr, runstate.ErrCorrupt) {
+					return nil, fmt.Errorf("autotune: loading checkpoint: %w", loadErr)
+				}
+				// A damaged checkpoint is a recoverable loss, not a
+				// reason to refuse to tune: warn, cold-start, and let
+				// the next periodic snapshot overwrite the wreckage.
+				cfg.logf("warning: ignoring corrupt checkpoint %s, starting cold: %v", cfg.CheckpointPath, loadErr)
+				snap = nil
 			}
-			res, err = core.Resume(ctx, snap, sp, pool, ev, strat, params, nil)
-		} else {
-			res, err = core.Run(ctx, sp, pool, ev, strat, params, loopR, nil)
 		}
+	}
+	if snap != nil {
+		res, err = core.Resume(ctx, snap, sp, pool, modelEv, strat, params, nil)
 	} else {
-		res, err = core.Run(ctx, sp, pool, ev, strat, params, loopR, nil)
+		res, err = core.Run(ctx, sp, pool, modelEv, strat, params, loopR, nil)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("autotune: model phase: %w", err)

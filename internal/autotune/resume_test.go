@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/runstate"
@@ -132,5 +133,71 @@ func TestTuneRejectsForeignCheckpoint(t *testing.T) {
 	// longer matches the snapshot's fingerprint.
 	if _, err := Tune(context.Background(), p, cfg, 6); err == nil {
 		t.Fatal("checkpoint from seed 5 accepted by a seed-6 run")
+	}
+}
+
+// TestTuneColdStartsOverCorruptCheckpoint: a damaged checkpoint file
+// must not brick the pipeline — Tune warns, starts cold, and lands on
+// the exact outcome of a run that never had a checkpoint; the wreckage
+// is cleared on completion.
+func TestTuneColdStartsOverCorruptCheckpoint(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	const seed = 88
+	want, err := Tune(context.Background(), p, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "tune.ckpt")
+	if err := os.WriteFile(ckpt, []byte(`{"version":1,"iter`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.CheckpointPath = ckpt
+	var warned bool
+	cfg.Logf = func(format string, args ...interface{}) { warned = true }
+	got, err := Tune(context.Background(), p, cfg, seed)
+	if err != nil {
+		t.Fatalf("corrupt checkpoint bricked the pipeline: %v", err)
+	}
+	if !warned {
+		t.Fatal("cold start over a corrupt checkpoint emitted no warning")
+	}
+	if got.Best.Key() != want.Best.Key() || got.BestMeasured != want.BestMeasured {
+		t.Fatalf("cold-started outcome (%v, %v) differs from checkpoint-free run (%v, %v)",
+			got.Best, got.BestMeasured, want.Best, want.BestMeasured)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatal("completed run did not clear the corrupt checkpoint")
+	}
+}
+
+// TestTuneChaosTransparent: a transient-only scenario, fully retried,
+// must leave the tuning outcome bit-identical to the fault-free run —
+// the pipeline-level face of the chaos-equivalence property.
+func TestTuneChaosTransparent(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	const seed = 91
+	want, err := Tune(context.Background(), p, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Chaos = chaos.Scenario{ErrRate: 0.25, Seed: 3}
+	cfg.Failure = core.FailurePolicy{MaxRetries: 20}
+	got, err := Tune(context.Background(), p, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best.Key() != want.Best.Key() || got.BestMeasured != want.BestMeasured ||
+		got.ModelCost != want.ModelCost || got.Speedup != want.Speedup {
+		t.Fatalf("chaotic outcome (%v, %v, %v) differs from clean (%v, %v, %v)",
+			got.Best, got.BestMeasured, got.ModelCost, want.Best, want.BestMeasured, want.ModelCost)
 	}
 }

@@ -27,6 +27,7 @@ package campaign
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,20 @@ type Task struct {
 	Run                    func(ctx context.Context)
 }
 
+// Panic records one task whose Run panicked. The worker recovered it,
+// quarantined the cell and kept draining: one poisoned evaluator must
+// not take down the other (problem × strategy × rep) cells sharing the
+// pool.
+type Panic struct {
+	// Problem, Strategy, Rep are the poisoned task's grid coordinates.
+	Problem, Strategy, Rep int
+
+	// Value is the recovered panic value; Stack the goroutine stack
+	// captured at recovery, for the campaign report.
+	Value interface{}
+	Stack string
+}
+
 // Stats describes one scheduler drain.
 type Stats struct {
 	// Workers is the pool size actually used.
@@ -70,6 +85,10 @@ type Stats struct {
 
 	// Steals counts tasks a worker took from another worker's deque.
 	Steals int
+
+	// Panics lists the tasks whose Run panicked and was quarantined,
+	// in recovery order.
+	Panics []Panic
 
 	// Busy is the summed wall time workers spent inside Task.Run;
 	// Wall is the drain's elapsed time. Utilization = Busy/(Wall·Workers)
@@ -113,6 +132,8 @@ func (d *deque) stealHead() (Task, bool) {
 // Run drains tasks through a pool of workers goroutines and returns the
 // drain's scheduling statistics. workers <= 0 defaults to GOMAXPROCS and
 // is capped at len(tasks). Run returns once every task has completed.
+// A task that panics is recovered and quarantined into Stats.Panics
+// with its stack trace; the worker keeps draining.
 //
 // No new tasks are produced while draining, so a worker exits when its
 // own deque and every victim's deque are empty; tasks already popped
@@ -139,6 +160,23 @@ func Run(ctx context.Context, workers int, tasks []Task) Stats {
 
 	var steals atomic.Int64
 	var busy atomic.Int64
+	var panicMu sync.Mutex
+	var panics []Panic
+	// runTask shields the worker from a panicking Task.Run: the panic is
+	// recorded with its stack and the worker moves on to the next task.
+	runTask := func(t Task) {
+		defer func() {
+			if v := recover(); v != nil {
+				panicMu.Lock()
+				panics = append(panics, Panic{
+					Problem: t.Problem, Strategy: t.Strategy, Rep: t.Rep,
+					Value: v, Stack: string(debug.Stack()),
+				})
+				panicMu.Unlock()
+			}
+		}()
+		t.Run(ctx)
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -158,13 +196,14 @@ func Run(ctx context.Context, workers int, tasks []Task) Stats {
 					steals.Add(1)
 				}
 				ts := time.Now()
-				t.Run(ctx)
+				runTask(t)
 				busy.Add(int64(time.Since(ts)))
 			}
 		}(w)
 	}
 	wg.Wait()
 
+	st.Panics = panics
 	st.Steals = int(steals.Load())
 	st.Busy = time.Duration(busy.Load())
 	st.Wall = time.Since(start)
@@ -183,6 +222,7 @@ func (s *Stats) Add(o Stats) {
 	}
 	s.Tasks += o.Tasks
 	s.Steals += o.Steals
+	s.Panics = append(s.Panics, o.Panics...)
 	s.Busy += o.Busy
 	s.Wall += o.Wall
 	if s.Wall > 0 && s.Workers > 0 {

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -183,5 +184,56 @@ func TestDatasetCacheFailedBuildEvicted(t *testing.T) {
 	}
 	if st := c.Stats(); st.Builds != 2 {
 		t.Fatalf("stats = %+v, want 2 builds", st)
+	}
+}
+
+// TestSchedulerQuarantinesPanics injects panicking tasks into the grid
+// and checks that every other task still runs exactly once, that each
+// panic is recorded with its coordinates and a stack trace, and that
+// the drain terminates cleanly at several pool sizes.
+func TestSchedulerQuarantinesPanics(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		const n = 24
+		counts := make([]atomic.Int64, n)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task{
+				Problem: i / 6, Strategy: i % 6, Rep: i % 2,
+				Run: func(context.Context) {
+					counts[i].Add(1)
+					if i%7 == 3 {
+						panic("poisoned evaluator")
+					}
+				},
+			}
+		}
+		st := Run(context.Background(), workers, tasks)
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times after panics elsewhere", workers, i, got)
+			}
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			if i%7 == 3 {
+				want++
+			}
+		}
+		if len(st.Panics) != want {
+			t.Fatalf("workers=%d: %d panics recorded, want %d", workers, len(st.Panics), want)
+		}
+		for _, p := range st.Panics {
+			i := p.Problem*6 + p.Strategy
+			if i%7 != 3 {
+				t.Fatalf("workers=%d: panic attributed to healthy task %+v", workers, p)
+			}
+			if p.Value != "poisoned evaluator" {
+				t.Fatalf("workers=%d: panic value %v", workers, p.Value)
+			}
+			if !strings.Contains(p.Stack, "campaign") {
+				t.Fatalf("workers=%d: stack trace missing: %q", workers, p.Stack)
+			}
+		}
 	}
 }

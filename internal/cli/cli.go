@@ -1,0 +1,50 @@
+// Package cli centralizes the exit-code conventions shared by every
+// binary in cmd/: 0 for success, 1 for failure, and 130 (128 + SIGINT)
+// for a run that ended because it was cancelled — so shell scripts and
+// CI can tell "the experiment is wrong" from "the operator hit Ctrl-C".
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Exit codes. ExitInterrupt follows the shell convention of 128 + the
+// signal number, SIGINT being 2.
+const (
+	ExitOK        = 0
+	ExitFailure   = 1
+	ExitInterrupt = 130
+)
+
+// ExitCode classifies err: nil is success, a context cancellation (the
+// signal handler's fingerprint) is an interrupt, anything else a
+// failure.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return ExitInterrupt
+	default:
+		return ExitFailure
+	}
+}
+
+// Fatal prints err to stderr and exits with its classified code. A nil
+// err exits 0 silently.
+func Fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+	}
+	os.Exit(ExitCode(err))
+}
+
+// Fatalf prints a formatted failure to stderr and exits ExitFailure —
+// for usage and validation errors that never involve a context.
+func Fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "error: "+format+"\n", args...)
+	os.Exit(ExitFailure)
+}

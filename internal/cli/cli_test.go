@@ -1,0 +1,28 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("boom"), ExitFailure},
+		{context.Canceled, ExitInterrupt},
+		{context.DeadlineExceeded, ExitInterrupt},
+		{fmt.Errorf("model phase: %w", context.Canceled), ExitInterrupt},
+		{fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", context.DeadlineExceeded)), ExitInterrupt},
+		{fmt.Errorf("mentions context.Canceled but does not wrap it"), ExitFailure},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/forest"
@@ -188,6 +189,72 @@ type FailurePolicy struct {
 	// OnExhausted selects FailAbort (default) or FailSkip once
 	// MaxRetries re-attempts have failed.
 	OnExhausted FailureAction
+
+	// Timeout is the per-attempt evaluation deadline, enforced through
+	// the context handed to the evaluator. An attempt that outlives it
+	// is a retryable failure (ErrEvalTimeout) — a hung program run
+	// surfaces like a crashed one instead of blocking the engine
+	// forever. Backoff sleeps are clamped to it too, so a retry is
+	// never delayed longer than an attempt may run. <= 0 disables the
+	// deadline.
+	Timeout time.Duration
+}
+
+// ErrEvalTimeout marks an evaluation attempt cut off by
+// FailurePolicy.Timeout. It deliberately does not wrap
+// context.DeadlineExceeded: the run's own context is still live, and
+// upstream layers must not mistake a timed-out measurement for a
+// cancelled run.
+var ErrEvalTimeout = errors.New("core: evaluation timed out")
+
+// GuardAction selects what LabelGuard does with a flagged label.
+type GuardAction int
+
+const (
+	// GuardRemeasure re-measures the configuration K times and labels
+	// it with the median — the default, since most outliers are one-off
+	// measurement garbage.
+	GuardRemeasure GuardAction = iota
+
+	// GuardQuarantine drops the configuration from the pool without
+	// training on it, like a failure skip.
+	GuardQuarantine
+)
+
+// LabelGuard screens freshly measured labels against the surrogate's
+// current prediction interval. A label y for a candidate the model
+// believes to be (μ, σ) is suspect when |y − μ| > Z·σ + Rel·|μ|; suspect
+// labels are re-measured (median of K) or quarantined instead of being
+// trained on, because one corrupted label steers every subsequent μ/σ
+// ranking the strategy sees. The zero value disables the guard. The
+// guard is inactive during the cold start (there is no model yet) and
+// all guard activity — flags, re-measurements, quarantines, and the
+// machine time they consume — is billed into CC and the run telemetry.
+type LabelGuard struct {
+	// Z is the flag threshold in prediction-uncertainty sigmas; <= 0
+	// disables the guard entirely.
+	Z float64
+
+	// Rel adds slack proportional to |μ|, so a tight σ on a
+	// well-explored region does not flag honest measurement noise.
+	Rel float64
+
+	// K is the number of re-measurements under GuardRemeasure; <= 0
+	// defaults to 3.
+	K int
+
+	// Action selects GuardRemeasure (default) or GuardQuarantine.
+	Action GuardAction
+}
+
+// enabled reports whether the guard screens labels at all.
+func (g LabelGuard) enabled() bool { return g.Z > 0 }
+
+// suspect applies the prediction-interval test. A NaN μ or σ (a
+// degenerate model) never flags: the comparison is false, and the label
+// passes through unguarded.
+func (g LabelGuard) suspect(y, mu, sigma float64) bool {
+	return math.Abs(y-mu) > g.Z*sigma+g.Rel*math.Abs(mu)
 }
 
 // Params are Algorithm 1's knobs. The paper's defaults (§III-D) are
@@ -221,6 +288,11 @@ type Params struct {
 	// Failure governs transient evaluation failures; the zero value
 	// aborts on the first failure.
 	Failure FailurePolicy
+
+	// Guard screens loop-phase labels against the model's prediction
+	// interval (re-measure or quarantine outliers); the zero value
+	// trains on every measurement unchecked.
+	Guard LabelGuard
 
 	// CheckpointEvery > 0 hands a Snapshot to Checkpoint after the cold
 	// start and then after every CheckpointEvery-th completed
@@ -262,9 +334,9 @@ func (p Params) Normalized() Params {
 // Selection records one strategy decision for later analysis.
 type Selection struct {
 	Config    space.Config `json:"config"`
-	Mu        float64      `json:"mu"`    // model belief at selection time
-	Sigma     float64      `json:"sigma"` // model belief at selection time
-	Y         float64      `json:"y"`     // measured value
+	Mu        float64      `json:"mu"`        // model belief at selection time
+	Sigma     float64      `json:"sigma"`     // model belief at selection time
+	Y         float64      `json:"y"`         // measured value
 	Iteration int          `json:"iteration"` // 1-based iteration of the loop phase
 }
 
@@ -292,12 +364,28 @@ type IterStats struct {
 	// EvalRetries counts failed evaluation attempts that were retried.
 	EvalRetries int `json:"eval_retries,omitempty"`
 
+	// EvalTimeouts counts attempts cut off by FailurePolicy.Timeout
+	// (a subset of the retried/failed attempts).
+	EvalTimeouts int `json:"eval_timeouts,omitempty"`
+
 	// EvalSkips counts configurations dropped from the pool under
 	// FailSkip.
 	EvalSkips int `json:"eval_skips,omitempty"`
 
 	// FailedCost is the labeling cost billed by failed attempts.
 	FailedCost float64 `json:"failed_cost,omitempty"`
+
+	// GuardFlagged counts labels the label guard found suspect;
+	// GuardRemeasured of those were replaced by a median re-measurement
+	// and GuardQuarantined were dropped from the pool untrained.
+	GuardFlagged     int `json:"guard_flagged,omitempty"`
+	GuardRemeasured  int `json:"guard_remeasured,omitempty"`
+	GuardQuarantined int `json:"guard_quarantined,omitempty"`
+
+	// GuardCost is the labeling cost billed by guard activity: the
+	// machine time of quarantined measurements and of re-measurements
+	// beyond the median that became the label.
+	GuardCost float64 `json:"guard_cost,omitempty"`
 
 	// PoolCached reports whether candidate scoring went through the
 	// pool-prediction cache (PoolPredictor) instead of a rebuilt
@@ -311,9 +399,15 @@ type RunStats struct {
 	SelectTime time.Duration
 	EvalTime   time.Duration
 
-	EvalRetries int
-	EvalSkips   int
-	FailedCost  float64
+	EvalRetries  int
+	EvalTimeouts int
+	EvalSkips    int
+	FailedCost   float64
+
+	GuardFlagged     int
+	GuardRemeasured  int
+	GuardQuarantined int
+	GuardCost        float64
 
 	// CachedIterations counts iterations scored via the pool cache.
 	CachedIterations int
@@ -343,7 +437,8 @@ type State struct {
 	Stats IterStats
 
 	// LabelCost is the cumulative labeling cost so far (the paper's
-	// CC, Eq. 3) including the cost billed by failed attempts.
+	// CC, Eq. 3) including the cost billed by failed attempts and by
+	// label-guard activity.
 	LabelCost float64
 }
 
@@ -372,19 +467,25 @@ type Result struct {
 	// evaluation attempts.
 	FailedCost float64
 
+	// GuardCost is the total labeling cost billed by label-guard
+	// activity (quarantined measurements and non-median
+	// re-measurements).
+	GuardCost float64
+
 	// RNGState is the loop generator's state when the run returned;
 	// with it, two runs can be compared for identical stream position.
 	RNGState rng.State
 }
 
 // LabelCost returns the run's cumulative labeling cost (the paper's CC,
-// Eq. 3) including the cost billed by failed evaluation attempts.
+// Eq. 3) including the cost billed by failed evaluation attempts and by
+// label-guard activity.
 func (r *Result) LabelCost() float64 {
 	var sum float64
 	for _, y := range r.TrainY {
 		sum += y
 	}
-	return sum + r.FailedCost
+	return sum + r.FailedCost + r.GuardCost
 }
 
 // Telemetry aggregates the per-event stats of the run.
@@ -395,8 +496,13 @@ func (r *Result) Telemetry() RunStats {
 		a.SelectTime += s.SelectTime
 		a.EvalTime += s.EvalTime
 		a.EvalRetries += s.EvalRetries
+		a.EvalTimeouts += s.EvalTimeouts
 		a.EvalSkips += s.EvalSkips
 		a.FailedCost += s.FailedCost
+		a.GuardFlagged += s.GuardFlagged
+		a.GuardRemeasured += s.GuardRemeasured
+		a.GuardQuarantined += s.GuardQuarantined
+		a.GuardCost += s.GuardCost
 		if s.PoolCached {
 			a.CachedIterations++
 		}
@@ -622,6 +728,18 @@ func (e *engine) loop() (*Result, error) {
 			if rep.skipped {
 				continue
 			}
+			if e.p.Guard.enabled() {
+				gy, quarantined, gerr := e.guardLabel(cfg, y, mu[k], sigma[k], &stats)
+				if gerr != nil {
+					stats.EvalTime = time.Since(evalStart)
+					e.remaining = compact(e.remaining, taken)
+					return e.res, fmt.Errorf("core: iteration %d: label guard: %w", e.iter, gerr)
+				}
+				if quarantined {
+					continue
+				}
+				y = gy
+			}
 			e.res.TrainConfigs = append(e.res.TrainConfigs, cfg)
 			e.res.TrainY = append(e.res.TrainY, y)
 			e.labelSum += y
@@ -666,7 +784,7 @@ type evalReport struct {
 }
 
 // evalConfig labels cfg under the failure policy, accounting retries,
-// skips and failed-attempt cost into stats and the result.
+// timeouts, skips and failed-attempt cost into stats and the result.
 func (e *engine) evalConfig(cfg space.Config, stats *IterStats) (float64, evalReport, error) {
 	var rep evalReport
 	pol := e.p.Failure
@@ -675,7 +793,7 @@ func (e *engine) evalConfig(cfg space.Config, stats *IterStats) (float64, evalRe
 		if err := e.ctx.Err(); err != nil {
 			return 0, rep, err
 		}
-		y, err := e.ev.Evaluate(e.ctx, cfg)
+		y, err, timedOut := e.attempt(cfg, pol.Timeout)
 		if err == nil {
 			return y, rep, nil
 		}
@@ -686,7 +804,20 @@ func (e *engine) evalConfig(cfg space.Config, stats *IterStats) (float64, evalRe
 			stats.FailedCost += y
 			e.res.FailedCost += y
 		}
-		if e.ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if e.ctx.Err() != nil {
+			return 0, rep, err
+		}
+		if timedOut {
+			// The attempt outlived its per-evaluation deadline while
+			// the run's context is still live: a hung measurement, and
+			// as retryable as a crashed one.
+			stats.EvalTimeouts++
+			err = fmt.Errorf("%w after %v", ErrEvalTimeout, pol.Timeout)
+		} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Context errors that are neither the run's nor the
+			// attempt deadline's come from the evaluator's own
+			// machinery; treat them as a run-level stop, as the engine
+			// always has.
 			return 0, rep, err
 		}
 		if attempt >= pol.MaxRetries {
@@ -699,7 +830,13 @@ func (e *engine) evalConfig(cfg space.Config, stats *IterStats) (float64, evalRe
 		}
 		stats.EvalRetries++
 		if delay > 0 {
-			if err := sleepCtx(e.ctx, delay); err != nil {
+			sleep := delay
+			if pol.Timeout > 0 && sleep > pol.Timeout {
+				// A backoff longer than an attempt may run would stall
+				// the loop worse than the hang the timeout just cut.
+				sleep = pol.Timeout
+			}
+			if err := sleepCtx(e.ctx, sleep); err != nil {
 				return 0, rep, err
 			}
 			delay *= 2
@@ -708,6 +845,95 @@ func (e *engine) evalConfig(cfg space.Config, stats *IterStats) (float64, evalRe
 			}
 		}
 	}
+}
+
+// attempt runs one evaluation attempt under the per-evaluation deadline.
+// timedOut reports that the attempt's own deadline expired while the
+// run's context was still live.
+func (e *engine) attempt(cfg space.Config, timeout time.Duration) (y float64, err error, timedOut bool) {
+	if timeout <= 0 {
+		y, err = e.ev.Evaluate(e.ctx, cfg)
+		return y, err, false
+	}
+	actx, cancel := context.WithTimeout(e.ctx, timeout)
+	defer cancel()
+	y, err = e.ev.Evaluate(actx, cfg)
+	if err != nil && errors.Is(actx.Err(), context.DeadlineExceeded) && e.ctx.Err() == nil {
+		timedOut = true
+	}
+	return y, err, timedOut
+}
+
+// guardLabel screens a freshly measured loop-phase label against the
+// model's prediction interval at selection time. It returns the label to
+// train on (the original, or the median of K re-measurements), or
+// quarantined = true when the configuration should be dropped untrained.
+// All machine time the guard consumes is billed into GuardCost.
+func (e *engine) guardLabel(cfg space.Config, y, mu, sigma float64, stats *IterStats) (float64, bool, error) {
+	g := e.p.Guard
+	if !g.suspect(y, mu, sigma) {
+		return y, false, nil
+	}
+	stats.GuardFlagged++
+	if g.Action == GuardQuarantine {
+		e.billGuard(stats, y)
+		stats.GuardQuarantined++
+		return 0, true, nil
+	}
+	k := g.K
+	if k <= 0 {
+		k = 3
+	}
+	vals := make([]float64, 0, k)
+	for j := 0; j < k; j++ {
+		v, rep, err := e.evalConfig(cfg, stats)
+		if err != nil {
+			return 0, false, err
+		}
+		if rep.skipped {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		// Every re-measurement failed its retry budget: the
+		// configuration is poison either way.
+		e.billGuard(stats, y)
+		stats.GuardQuarantined++
+		return 0, true, nil
+	}
+	stats.GuardRemeasured++
+	m := median(vals)
+	// The run spent y plus every re-measurement of machine time on this
+	// label; the median becomes the label (counted in CC through
+	// TrainY), the rest is guard overhead.
+	waste := y - m
+	for _, v := range vals {
+		waste += v
+	}
+	e.billGuard(stats, waste)
+	return m, false, nil
+}
+
+// billGuard accounts guard-consumed machine time.
+func (e *engine) billGuard(stats *IterStats, cost float64) {
+	if cost <= 0 || math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return
+	}
+	stats.GuardCost += cost
+	e.res.GuardCost += cost
+}
+
+// median returns the median of xs (mean of the central pair for even
+// lengths). xs is not modified.
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
 }
 
 // observe appends the event to the telemetry stream and notifies the
@@ -723,7 +949,7 @@ func (e *engine) observe(stats IterStats) error {
 		TrainY:       e.res.TrainY,
 		Iteration:    e.iter,
 		Stats:        stats,
-		LabelCost:    e.labelSum + e.res.FailedCost,
+		LabelCost:    e.labelSum + e.res.FailedCost + e.res.GuardCost,
 	})
 }
 

@@ -53,11 +53,14 @@ type Snapshot struct {
 	// (the forest/tree JSON format by default).
 	Model json.RawMessage `json:"model"`
 
-	// Stats, Selections and FailedCost restore the Result bookkeeping
-	// so a resumed run's Result matches the uninterrupted one.
+	// Stats, Selections, FailedCost and GuardCost restore the Result
+	// bookkeeping so a resumed run's Result matches the uninterrupted
+	// one. GuardCost is additive to the version-1 format: snapshots
+	// written before the label guard load with a zero value.
 	Stats      []IterStats `json:"stats,omitempty"`
 	Selections []Selection `json:"selections,omitempty"`
 	FailedCost float64     `json:"failed_cost,omitempty"`
+	GuardCost  float64     `json:"guard_cost,omitempty"`
 }
 
 // poolHash fingerprints a pool with FNV-1a over its level indices.
@@ -136,6 +139,7 @@ func (e *engine) snapshot() (*Snapshot, error) {
 		Stats:        append([]IterStats(nil), e.res.Stats...),
 		Selections:   append([]Selection(nil), e.res.Selections...),
 		FailedCost:   e.res.FailedCost,
+		GuardCost:    e.res.GuardCost,
 	}
 	if sev, ok := e.ev.(StatefulEvaluator); ok {
 		st := sev.EvaluatorState()
@@ -223,6 +227,7 @@ func Resume(ctx context.Context, snap *Snapshot, sp *space.Space, pool []space.C
 			Selections:   append([]Selection(nil), snap.Selections...),
 			Stats:        append([]IterStats(nil), snap.Stats...),
 			FailedCost:   snap.FailedCost,
+			GuardCost:    snap.GuardCost,
 			Iterations:   snap.Iteration,
 			Model:        model,
 		},

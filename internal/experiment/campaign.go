@@ -40,12 +40,30 @@ type Campaign struct {
 	Workers int
 }
 
+// QuarantinedTask names one campaign cell whose evaluator panicked. The
+// worker recovered the panic; the cell's repetition is excluded from
+// its curve set's averages and every other cell completed normally.
+type QuarantinedTask struct {
+	// Problem and Strategy are the cell's names; Rep its repetition.
+	Problem, Strategy string
+	Rep               int
+
+	// Value is the recovered panic value; Stack the goroutine stack at
+	// recovery.
+	Value interface{}
+	Stack string
+}
+
 // CampaignResult holds the aggregated curves and the drain's telemetry.
 type CampaignResult struct {
 	// Curves maps each item's problem name to its curve sets in
 	// Strategies order. A cell that produced no checkpoints (e.g. a
 	// cancellation before any repetition's first checkpoint) holds nil.
 	Curves map[string][]*CurveSet
+
+	// Quarantined lists the (problem, strategy, rep) cells whose
+	// evaluator panicked, with the recovered value and stack trace.
+	Quarantined []QuarantinedTask
 
 	// Scheduler describes the drain: pool size, steals, utilization.
 	Scheduler campaign.Stats
@@ -65,6 +83,11 @@ type CampaignResult struct {
 // the first cell error is returned alongside the result. The result is
 // nil only when a strategy name is unknown, which is rejected before any
 // labeling runs.
+//
+// A cell whose evaluator panics is quarantined: the worker recovers the
+// panic, the poisoned repetition is excluded from its curve set and
+// listed in CampaignResult.Quarantined with its stack trace, and every
+// other cell drains to completion.
 func RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -100,6 +123,21 @@ func RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, error) {
 	res := &CampaignResult{Curves: make(map[string][]*CurveSet, len(c.Items))}
 	res.Scheduler = campaign.Run(ctx, c.Workers, tasks)
 	res.Datasets = cache.Stats()
+
+	// A panicked cell never assigned its repResult; mark it so the
+	// aggregation excludes just that repetition instead of indexing an
+	// empty curve, and surface the quarantine with its stack trace.
+	for _, p := range res.Scheduler.Panics {
+		it := c.Items[p.Problem]
+		name := c.Strategies[p.Strategy]
+		results[p.Problem][p.Strategy][p.Rep] = repResult{
+			err: fmt.Errorf("%w: %s/%s rep %d: %v", ErrRepPanic, it.Problem.Name(), name, p.Rep, p.Value),
+		}
+		res.Quarantined = append(res.Quarantined, QuarantinedTask{
+			Problem: it.Problem.Name(), Strategy: name, Rep: p.Rep,
+			Value: p.Value, Stack: p.Stack,
+		})
+	}
 
 	var firstErr error
 	for ii, it := range c.Items {

@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/chaos"
+	"repro/internal/core"
+)
+
+// TestChaosEquivalenceAllStrategies is the gate behind `make
+// chaos-equivalence`: under a transient-error-only scenario with enough
+// retries to always recover, every strategy's learning curves must be
+// bit-identical to the fault-free run. This rests on two properties —
+// injected errors never consume the wrapped evaluator's noise stream,
+// and the retry path never touches the loop generator.
+func TestChaosEquivalenceAllStrategies(t *testing.T) {
+	p, err := bench.ByName("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Smoke()
+	const seed = 77
+	for _, name := range core.StrategyNames() {
+		clean, err := RunStrategy(context.Background(), p, name, sc, seed)
+		if err != nil {
+			t.Fatalf("%s clean: %v", name, err)
+		}
+		faulty := sc
+		faulty.Chaos = chaos.Scenario{ErrRate: 0.3, Seed: 5}
+		faulty.Failure = core.FailurePolicy{MaxRetries: 20}
+		dirty, err := RunStrategy(context.Background(), p, name, faulty, seed)
+		if err != nil {
+			t.Fatalf("%s chaotic: %v", name, err)
+		}
+		if dirty.Stats.EvalRetries == 0 {
+			t.Fatalf("%s: ErrRate=0.3 produced no retries; the injector is not wired in", name)
+		}
+		if len(clean.RMSE) != len(dirty.RMSE) {
+			t.Fatalf("%s: %d vs %d checkpoints", name, len(clean.RMSE), len(dirty.RMSE))
+		}
+		for i := range clean.RMSE {
+			if clean.Samples[i] != dirty.Samples[i] || clean.RMSE[i] != dirty.RMSE[i] || clean.CC[i] != dirty.CC[i] {
+				t.Fatalf("%s: checkpoint %d diverged under fully-retried transient faults:\n"+
+					"clean n=%d rmse=%v cc=%v\nchaos n=%d rmse=%v cc=%v",
+					name, i, clean.Samples[i], clean.RMSE[i], clean.CC[i],
+					dirty.Samples[i], dirty.RMSE[i], dirty.CC[i])
+			}
+		}
+	}
+}
+
+// TestCampaignQuarantinesPanickedCells: an evaluator panic must fail
+// only its own (problem, strategy, rep) cell. The campaign drains, the
+// poisoned repetitions land in Quarantined with stack traces, and each
+// curve set averages exactly its surviving repetitions.
+func TestCampaignQuarantinesPanickedCells(t *testing.T) {
+	p, err := bench.ByName("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Smoke()
+	sc.Reps = 3
+	// Rare enough that most repetitions finish, frequent enough that
+	// (deterministically, at this seed) at least one panics.
+	sc.Chaos = chaos.Scenario{PanicRate: 0.01, Seed: 11}
+	names := []string{"PWU", "Random"}
+	res, err := RunCampaign(context.Background(), Campaign{
+		Items:      []CampaignItem{{Problem: p, Scale: sc}},
+		Strategies: names,
+		Seed:       21,
+	})
+	if err != nil {
+		t.Fatalf("campaign failed instead of quarantining: %v", err)
+	}
+	if len(res.Quarantined) == 0 {
+		t.Fatal("PanicRate=0.01 at this seed quarantined nothing; pick a seed that panics")
+	}
+	lost := map[string]int{}
+	for _, q := range res.Quarantined {
+		if q.Value == nil || q.Stack == "" {
+			t.Fatalf("quarantined cell %+v missing panic value or stack", q)
+		}
+		if q.Value != chaos.PanicValue {
+			t.Fatalf("quarantined cell panic value %v, want the injected one", q.Value)
+		}
+		lost[q.Strategy]++
+	}
+	sets := res.Curves[p.Name()]
+	if len(sets) != len(names) {
+		t.Fatalf("%d curve sets, want %d", len(sets), len(names))
+	}
+	for si, cs := range sets {
+		if cs == nil {
+			t.Fatalf("strategy %s produced no curve set", names[si])
+		}
+		if want := sc.Reps - lost[names[si]]; cs.Reps != want {
+			t.Fatalf("strategy %s averages %d reps, want %d (%d quarantined)",
+				names[si], cs.Reps, want, lost[names[si]])
+		}
+		if cs.Reps > 0 && len(cs.RMSE) != len(checkpointSizes(sc)) {
+			t.Fatalf("strategy %s: surviving reps truncated to %d checkpoints", names[si], len(cs.RMSE))
+		}
+	}
+}
+
+// TestGuardBeatsCorruption is the acceptance check for the label guard:
+// on a corrupted-label scenario, the guarded run's final RMSE@α must be
+// lower than the unguarded run's — the guard catches the wild labels
+// before they poison the surrogate.
+func TestGuardBeatsCorruption(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Smoke()
+	sc.Chaos = chaos.Scenario{CorruptRate: 0.15, CorruptFactor: 50, Seed: 9}
+	const seed = 31
+	unguarded, err := RunStrategy(context.Background(), p, "Random", sc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := sc
+	guarded.Guard = core.LabelGuard{Z: 3, K: 5}
+	g, err := RunStrategy(context.Background(), p, "Random", guarded, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats.GuardFlagged == 0 || g.Stats.GuardRemeasured == 0 {
+		t.Fatalf("guard never fired under 15%% corruption: %+v", g.Stats)
+	}
+	if g.Stats.GuardCost <= 0 {
+		t.Fatal("guard activity billed no cost")
+	}
+	gf, uf := g.RMSE[len(g.RMSE)-1], unguarded.RMSE[len(unguarded.RMSE)-1]
+	if gf >= uf {
+		t.Fatalf("guarded final RMSE %v not better than unguarded %v", gf, uf)
+	}
+}
+
+// TestChaosSoakMixedFaults is the race-soak gate: a campaign under a
+// mixed hang/panic/error scenario must drain cleanly — hangs cut by the
+// per-evaluation timeout, panics quarantined, transient errors retried —
+// and leak no goroutines.
+func TestChaosSoakMixedFaults(t *testing.T) {
+	p, err := bench.ByName("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	sc := Smoke()
+	sc.Chaos = chaos.Scenario{ErrRate: 0.1, HangRate: 0.05, PanicRate: 0.005, Seed: 13}
+	sc.Failure = core.FailurePolicy{MaxRetries: 50, Timeout: 30 * time.Millisecond}
+	res, err := RunCampaign(context.Background(), Campaign{
+		Items:      []CampaignItem{{Problem: p, Scale: sc}},
+		Strategies: core.StrategyNames(),
+		Seed:       41,
+	})
+	if err != nil {
+		t.Fatalf("mixed-fault campaign did not drain: %v", err)
+	}
+	if res.Scheduler.Tasks != len(core.StrategyNames())*sc.Reps {
+		t.Fatalf("drained %d tasks, want %d", res.Scheduler.Tasks, len(core.StrategyNames())*sc.Reps)
+	}
+	var agg core.RunStats
+	for _, cs := range res.Curves[p.Name()] {
+		if cs == nil {
+			continue
+		}
+		agg.EvalRetries += cs.Stats.EvalRetries
+		agg.EvalTimeouts += cs.Stats.EvalTimeouts
+	}
+	if agg.EvalRetries == 0 || agg.EvalTimeouts == 0 {
+		t.Fatalf("soak exercised no retries (%d) or no timeouts (%d)", agg.EvalRetries, agg.EvalTimeouts)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines %d before soak, %d after", before, n)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/bench"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/forest"
@@ -58,6 +59,22 @@ type Scale struct {
 	// checkpoints, which lets the harness serve every checkpoint's
 	// test-set evaluation from the forest's per-tree prediction cache.
 	WarmUpdate bool
+
+	// Failure is the engine's retry/timeout policy for failing or
+	// hanging evaluations (see core.FailurePolicy). The zero value
+	// keeps the historical behavior: no retries, no deadline.
+	Failure core.FailurePolicy
+
+	// Guard screens loop-phase labels against the surrogate's
+	// prediction interval (see core.LabelGuard); the zero value
+	// disables it.
+	Guard core.LabelGuard
+
+	// Chaos injects deterministic faults into every repetition's
+	// evaluator (see chaos.Scenario). Each repetition derives its fault
+	// streams from (Chaos.Seed, rep seed), so a chaos campaign is as
+	// reproducible as a clean one. The zero scenario injects nothing.
+	Chaos chaos.Scenario
 
 	// Workers bounds run-level parallelism (repetitions in RunStrategy,
 	// the whole task grid in RunCampaign); <= 0 means GOMAXPROCS.
@@ -151,8 +168,13 @@ func (c *CurveSet) merge(s core.RunStats) {
 	c.Stats.SelectTime += s.SelectTime
 	c.Stats.EvalTime += s.EvalTime
 	c.Stats.EvalRetries += s.EvalRetries
+	c.Stats.EvalTimeouts += s.EvalTimeouts
 	c.Stats.EvalSkips += s.EvalSkips
 	c.Stats.FailedCost += s.FailedCost
+	c.Stats.GuardFlagged += s.GuardFlagged
+	c.Stats.GuardRemeasured += s.GuardRemeasured
+	c.Stats.GuardQuarantined += s.GuardQuarantined
+	c.Stats.GuardCost += s.GuardCost
 	c.Stats.CachedIterations += s.CachedIterations
 	c.Stats.Events += s.Events
 }
@@ -179,6 +201,12 @@ type repResult struct {
 	stats    core.RunStats
 	err      error
 }
+
+// ErrRepPanic marks a repetition whose evaluator panicked. The campaign
+// scheduler recovered the panic and quarantined the cell; aggregate
+// excludes the repetition from the averages instead of failing the
+// whole (problem, strategy) curve set.
+var ErrRepPanic = errors.New("experiment: repetition quarantined after evaluator panic")
 
 // RunStrategy runs sc.Reps repetitions of Algorithm 1 with the named
 // strategy on problem p and returns the averaged curves. Repetition r
@@ -222,26 +250,34 @@ func runReps(ctx context.Context, p bench.Problem, strategyName string, sc Scale
 //
 // On cancellation, only the repetitions that reached at least one
 // checkpoint contribute, averaged over the common prefix of checkpoints
-// they all reached; CurveSet.Reps records how many contributed. The set
-// is nil only when no repetition contributed. Engine telemetry is merged
-// from every repetition either way — interrupted repetitions spent their
+// they all reached; CurveSet.Reps records how many contributed. A
+// repetition quarantined after an evaluator panic (ErrRepPanic) is
+// excluded the same way without failing the set. The set is nil only
+// when no repetition contributed. Engine telemetry is merged from every
+// repetition either way — interrupted repetitions spent their
 // fit/select/eval time too.
 func aggregate(ctx context.Context, benchmark, strategyName string, sc Scale, reps []repResult) (*CurveSet, error) {
 	checkpoints := checkpointSizes(sc)
 	cancelled := false
+	quarantined := 0
 	var cancelErr error
 	for _, rr := range reps {
 		if rr.err == nil {
 			continue
 		}
-		if errors.Is(rr.err, context.Canceled) || errors.Is(rr.err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(rr.err, ErrRepPanic):
+			// A poisoned repetition: its curves are lost but the
+			// healthy repetitions still average into a valid set.
+			quarantined++
+		case errors.Is(rr.err, context.Canceled) || errors.Is(rr.err, context.DeadlineExceeded):
 			cancelled = true
 			if cancelErr == nil {
 				cancelErr = rr.err
 			}
-			continue
+		default:
+			return nil, rr.err
 		}
-		return nil, rr.err
 	}
 	if cancelled && ctx.Err() != nil {
 		cancelErr = ctx.Err()
@@ -249,16 +285,23 @@ func aggregate(ctx context.Context, benchmark, strategyName string, sc Scale, re
 
 	contributing := reps
 	usable := len(checkpoints)
-	if cancelled {
+	if cancelled || quarantined > 0 {
 		contributing = nil
 		for _, rr := range reps {
+			if errors.Is(rr.err, ErrRepPanic) {
+				continue
+			}
 			if len(rr.rmse) > 0 {
 				contributing = append(contributing, rr)
 			}
 		}
 		if len(contributing) == 0 {
-			return nil, fmt.Errorf("experiment: %s/%s interrupted before the first checkpoint: %w",
-				benchmark, strategyName, cancelErr)
+			if cancelled {
+				return nil, fmt.Errorf("experiment: %s/%s interrupted before the first checkpoint: %w",
+					benchmark, strategyName, cancelErr)
+			}
+			return nil, fmt.Errorf("experiment: %s/%s: every repetition quarantined: %w",
+				benchmark, strategyName, ErrRepPanic)
 		}
 		for _, rr := range contributing {
 			if len(rr.rmse) < usable {
@@ -365,9 +408,15 @@ func runOnce(ctx context.Context, p bench.Problem, strategyName string, sc Scale
 		return nil
 	}
 
-	ev := bench.Evaluator(p, r.Split())
+	var ev core.Evaluator = bench.Evaluator(p, r.Split())
+	if sc.Chaos.Active() {
+		// Fault streams derive from (scenario seed, rep seed): every
+		// repetition misbehaves in its own reproducible way.
+		ev = chaos.New(sc.Chaos, rng.Mix(sc.Chaos.Seed, seed), ev)
+	}
 	params := core.Params{NInit: sc.NInit, NBatch: sc.NBatch, NMax: sc.NMax,
-		Forest: sc.Forest, Fitter: sc.Fitter, WarmUpdate: sc.WarmUpdate}
+		Forest: sc.Forest, Fitter: sc.Fitter, WarmUpdate: sc.WarmUpdate,
+		Failure: sc.Failure, Guard: sc.Guard}
 	res, err := core.Run(ctx, p.Space(), ds.Pool, ev, strat, params, r, obs)
 	if res != nil {
 		rr.stats = res.Telemetry()

@@ -10,6 +10,8 @@
 package noise
 
 import (
+	"math"
+
 	"repro/internal/rng"
 )
 
@@ -59,4 +61,22 @@ func (m Model) Measure(trueTime float64, r *rng.RNG) float64 {
 		sum += m.Sample(trueTime, r)
 	}
 	return sum / float64(reps)
+}
+
+// MeanSigma returns the relative standard deviation of an averaged
+// Measure of trueTime 1 — the honest scatter a repeat-averaged
+// measurement still carries. A single log-normal run has relative
+// standard deviation sqrt(exp(σ²)−1); averaging Repeats independent
+// runs divides it by sqrt(Repeats). Label-screening layers
+// (core.LabelGuard) can use this to size a flagging threshold that
+// tolerates honest noise but catches corrupted labels.
+func (m Model) MeanSigma() float64 {
+	if m.Sigma <= 0 {
+		return 0
+	}
+	reps := m.Repeats
+	if reps < 1 {
+		reps = 1
+	}
+	return math.Sqrt((math.Exp(m.Sigma*m.Sigma) - 1) / float64(reps))
 }

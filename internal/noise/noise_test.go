@@ -86,3 +86,31 @@ func TestDeterministicUnderSeed(t *testing.T) {
 		t.Fatal("measurement not deterministic under seed")
 	}
 }
+
+// TestMeanSigma checks the analytic scatter of an averaged measurement
+// against an empirical estimate over many measurements.
+func TestMeanSigma(t *testing.T) {
+	if got := (Model{}).MeanSigma(); got != 0 {
+		t.Fatalf("noise-free MeanSigma = %v", got)
+	}
+	m := Kernel()
+	want := m.MeanSigma()
+	r := rng.New(17)
+	const n = 4000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := m.Measure(1, r)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sq/n - mean*mean)
+	if rel := math.Abs(sd-want) / want; rel > 0.1 {
+		t.Fatalf("empirical scatter %v vs analytic %v (rel err %.3f)", sd, want, rel)
+	}
+	// Averaging more repeats must shrink the scatter.
+	more := Model{Sigma: m.Sigma, Repeats: 4 * m.Repeats}
+	if more.MeanSigma() >= want {
+		t.Fatalf("4x repeats did not shrink MeanSigma: %v >= %v", more.MeanSigma(), want)
+	}
+}

@@ -250,20 +250,39 @@ func telemetrySection(path string, bw *bufio.Writer) error {
 	}
 	defer f.Close()
 
+	// Two header generations: the original ten columns, and the chaos
+	// harness's extension with timeout and label-guard counters. Older
+	// artifact directories stay readable.
+	const headerV1 = "benchmark,strategy,reps,events,fit_ms,select_ms,eval_ms,retries,skips,cached_iterations"
+	const headerV2 = headerV1 + ",timeouts,guard_flagged,guard_remeasured,guard_quarantined,guard_cost"
+
 	sc := bufio.NewScanner(f)
-	if !sc.Scan() || sc.Text() != "benchmark,strategy,reps,events,fit_ms,select_ms,eval_ms,retries,skips,cached_iterations" {
+	if !sc.Scan() {
+		return fmt.Errorf("report: empty telemetry file %s", path)
+	}
+	header := sc.Text()
+	if header != headerV1 && header != headerV2 {
 		return fmt.Errorf("report: unexpected telemetry header in %s", path)
+	}
+	cols := 10
+	guarded := header == headerV2
+	if guarded {
+		cols = 15
 	}
 	type agg struct {
 		fit, sel, eval      float64
 		retries, skips      int
 		cachedIters, events int
+		timeouts            int
+		flagged, remeasured int
+		quarantined         int
+		guardCost           float64
 	}
 	byStrategy := map[string]*agg{}
 	var order []string
 	for sc.Scan() {
 		parts := strings.Split(sc.Text(), ",")
-		if len(parts) != 10 {
+		if len(parts) != cols {
 			continue
 		}
 		a, ok := byStrategy[parts[1]]
@@ -286,6 +305,18 @@ func telemetrySection(path string, bw *bufio.Writer) error {
 		a.retries += retries
 		a.skips += skips
 		a.cachedIters += cached
+		if guarded {
+			timeouts, _ := strconv.Atoi(parts[10])
+			flagged, _ := strconv.Atoi(parts[11])
+			remeasured, _ := strconv.Atoi(parts[12])
+			quarantined, _ := strconv.Atoi(parts[13])
+			gcost, _ := strconv.ParseFloat(parts[14], 64)
+			a.timeouts += timeouts
+			a.flagged += flagged
+			a.remeasured += remeasured
+			a.quarantined += quarantined
+			a.guardCost += gcost
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return err
@@ -304,6 +335,31 @@ func telemetrySection(path string, bw *bufio.Writer) error {
 			name, a.events, a.fit/1000, a.sel/1000, a.eval/1000, a.retries, a.skips, a.cachedIters)
 	}
 	fmt.Fprintln(bw)
+
+	// Hardened-evaluation activity, shown only when the artifact carries
+	// it and something actually fired.
+	if guarded {
+		any := false
+		for _, name := range order {
+			a := byStrategy[name]
+			if a.timeouts+a.flagged+a.remeasured+a.quarantined > 0 || a.guardCost > 0 {
+				any = true
+				break
+			}
+		}
+		if any {
+			fmt.Fprintln(bw, "### Hardened evaluation")
+			fmt.Fprintln(bw)
+			fmt.Fprintln(bw, "| strategy | timeouts | flagged | re-measured | quarantined | guard cost |")
+			fmt.Fprintln(bw, "|---|---|---|---|---|---|")
+			for _, name := range order {
+				a := byStrategy[name]
+				fmt.Fprintf(bw, "| %s | %d | %d | %d | %d | %.3f |\n",
+					name, a.timeouts, a.flagged, a.remeasured, a.quarantined, a.guardCost)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
 	return nil
 }
 

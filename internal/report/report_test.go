@@ -94,3 +94,45 @@ func TestGenerateEmptyDir(t *testing.T) {
 		t.Fatal("empty report missing header")
 	}
 }
+
+// TestTelemetrySectionBothGenerations: the report must parse both the
+// original ten-column telemetry artifact and the hardened-evaluation
+// extension, rendering the guard table only when something fired.
+func TestTelemetrySectionBothGenerations(t *testing.T) {
+	run := func(csv string) string {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "telemetry.csv"), []byte(csv), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Generate(dir, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	v1 := run("benchmark,strategy,reps,events,fit_ms,select_ms,eval_ms,retries,skips,cached_iterations\n" +
+		"atax,PWU,3,45,1200.000,80.000,3400.000,2,0,44\n")
+	if !strings.Contains(v1, "Run-engine telemetry") || !strings.Contains(v1, "| PWU | 45 |") {
+		t.Fatalf("v1 telemetry not rendered:\n%s", v1)
+	}
+	if strings.Contains(v1, "Hardened evaluation") {
+		t.Fatalf("v1 artifact rendered a guard table:\n%s", v1)
+	}
+
+	v2 := run("benchmark,strategy,reps,events,fit_ms,select_ms,eval_ms,retries,skips,cached_iterations," +
+		"timeouts,guard_flagged,guard_remeasured,guard_quarantined,guard_cost\n" +
+		"atax,PWU,3,45,1200.000,80.000,3400.000,7,0,44,3,5,4,1,12.5000\n")
+	for _, want := range []string{"Run-engine telemetry", "Hardened evaluation", "| PWU | 3 | 5 | 4 | 1 | 12.500 |"} {
+		if !strings.Contains(v2, want) {
+			t.Fatalf("v2 report missing %q:\n%s", want, v2)
+		}
+	}
+
+	quiet := run("benchmark,strategy,reps,events,fit_ms,select_ms,eval_ms,retries,skips,cached_iterations," +
+		"timeouts,guard_flagged,guard_remeasured,guard_quarantined,guard_cost\n" +
+		"atax,PWU,3,45,1200.000,80.000,3400.000,0,0,44,0,0,0,0,0.0000\n")
+	if strings.Contains(quiet, "Hardened evaluation") {
+		t.Fatalf("quiet v2 artifact rendered an empty guard table:\n%s", quiet)
+	}
+}

@@ -1,19 +1,35 @@
 // Package runstate persists core.Snapshot checkpoints to disk.
 //
-// The sink writes atomically (temp file + rename in the destination
-// directory), so a crash mid-write can never corrupt the previous
-// checkpoint: the file at the configured path is always either the old
-// complete snapshot or the new complete snapshot.
+// The sink writes atomically (temp file + fsync + rename in the
+// destination directory, then an fsync of the directory itself so the
+// rename is durable), so a crash mid-write can never corrupt the
+// previous checkpoint: the file at the configured path is always either
+// the old complete snapshot or the new complete snapshot.
+//
+// Load distinguishes a damaged checkpoint (ErrCorrupt, ErrTruncated)
+// from an unreadable one, so callers can decide to fall back to a cold
+// start instead of refusing to run.
 package runstate
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"repro/internal/core"
 )
+
+// ErrCorrupt marks a checkpoint file whose contents do not decode as a
+// snapshot — typically a file damaged after it was written, since the
+// atomic write never publishes a partial one.
+var ErrCorrupt = errors.New("runstate: checkpoint corrupt")
+
+// ErrTruncated marks a checkpoint file that ends mid-document — the
+// torn-write shape of corruption, reported separately because it is the
+// signature of a crashed filesystem rather than a stray edit.
+var ErrTruncated = errors.New("runstate: checkpoint truncated")
 
 // FileSink returns a core.Params.Checkpoint function that persists each
 // snapshot atomically to path. The parent directory must exist.
@@ -23,7 +39,9 @@ func FileSink(path string) func(*core.Snapshot) error {
 	}
 }
 
-// Save writes the snapshot atomically to path.
+// Save writes the snapshot atomically to path: temp file in the same
+// directory, fsync, rename over path, then fsync the directory so the
+// rename itself survives a power loss.
 func Save(path string, snap *core.Snapshot) error {
 	data, err := json.Marshal(snap)
 	if err != nil {
@@ -55,10 +73,29 @@ func Save(path string, snap *core.Snapshot) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("runstate: publishing snapshot: %w", err)
 	}
+	return syncDir(dir)
+}
+
+// syncDir makes a just-published rename durable. Platforms whose
+// directories cannot be fsynced (the open or sync fails with a
+// not-supported error) fall back to the rename's own guarantees.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return fmt.Errorf("runstate: syncing directory %s: %w", dir, err)
+	}
 	return nil
 }
 
-// Load reads a snapshot previously written by Save/FileSink.
+// Load reads a snapshot previously written by Save/FileSink. A file
+// that does not decode reports ErrCorrupt; one that ends mid-document
+// reports ErrTruncated (which also satisfies errors.Is(err, ErrCorrupt),
+// so a single check catches both). Read failures — including a missing
+// file — pass through the underlying error.
 func Load(path string) (*core.Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -66,7 +103,11 @@ func Load(path string) (*core.Snapshot, error) {
 	}
 	var snap core.Snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("runstate: decoding %s: %w", path, err)
+		var syntax *json.SyntaxError
+		if errors.As(err, &syntax) && syntax.Offset >= int64(len(data)) {
+			return nil, fmt.Errorf("%w (%w): %s after %d bytes: %v", ErrCorrupt, ErrTruncated, path, len(data), err)
+		}
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
 	}
 	return &snap, nil
 }

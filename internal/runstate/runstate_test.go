@@ -2,6 +2,7 @@ package runstate
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -92,5 +93,109 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Load(filepath.Join(t.TempDir(), "absent.ckpt")); err == nil {
 		t.Fatal("missing snapshot accepted")
+	}
+}
+
+// TestLoadClassifiesCorruption pins the typed errors: garbage reports
+// ErrCorrupt, a torn write additionally reports ErrTruncated, and a
+// missing file reports neither (callers must not cold-start over a
+// checkpoint they merely failed to open).
+func TestLoadClassifiesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage.ckpt")
+	if err := os.WriteFile(garbage, []byte("%%% not json %%%"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(garbage)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage load: %v, want ErrCorrupt", err)
+	}
+	if errors.Is(err, ErrTruncated) {
+		t.Fatalf("garbage load reported truncation: %v", err)
+	}
+
+	full := filepath.Join(dir, "full.ckpt")
+	if err := Save(full, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.ckpt")
+	if err := os.WriteFile(torn, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(torn)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn load: %v, want ErrTruncated", err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn load must also satisfy ErrCorrupt, got: %v", err)
+	}
+
+	empty := filepath.Join(dir, "empty.ckpt")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty load: %v, want ErrTruncated", err)
+	}
+
+	if _, err := Load(filepath.Join(dir, "absent.ckpt")); errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing file classified as corruption: %v", err)
+	}
+}
+
+// TestCrashMidWriteKeepsPreviousCheckpoint simulates every crash point
+// of a checkpoint update — a torn temp file next to the published
+// checkpoint, and a dangling temp never renamed — and checks the
+// previous complete snapshot always survives and loads.
+func TestCrashMidWriteKeepsPreviousCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	prev := sampleSnapshot()
+	if err := Save(path, prev); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash shape 1: the process dies mid-write, leaving a partial temp
+	// file that never reached its fsync or rename.
+	next := sampleSnapshot()
+	next.Iteration = 12
+	data, err := json.Marshal(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, len(data) / 2, len(data) - 1} {
+		tmp := filepath.Join(dir, "run.ckpt.tmp-crash")
+		if err := os.WriteFile(tmp, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("cut=%d: previous checkpoint unreadable after simulated crash: %v", cut, err)
+		}
+		if got.Iteration != prev.Iteration {
+			t.Fatalf("cut=%d: loaded iteration %d, want the surviving previous snapshot", cut, got.Iteration)
+		}
+		os.Remove(tmp)
+	}
+
+	// Crash shape 2: the next Save wins the race and later loads see the
+	// newer snapshot even with stale temp debris around.
+	stale := filepath.Join(dir, "run.ckpt.tmp-stale")
+	if err := os.WriteFile(stale, data[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, next); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 12 {
+		t.Fatalf("loaded iteration %d after recovery save, want 12", got.Iteration)
 	}
 }
