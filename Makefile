@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak bench bench-train bench-campaign figures figures-paper report examples clean
+.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence bench bench-train bench-campaign bench-pool bench-pool-smoke figures figures-paper report examples clean
 
 all: build check
 
@@ -9,10 +9,11 @@ build:
 
 # check is the pre-commit gate: static analysis, the full test suite
 # under the race detector (the forest/experiment layers are heavily
-# concurrent), the three equivalence gates (training engine, resume,
-# campaign engine), and the chaos gates (fault-injection equivalence and
-# the mixed-fault race soak).
-check: vet race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak
+# concurrent), the four equivalence gates (training engine, resume,
+# campaign engine, streaming pool), the chaos gates (fault-injection
+# equivalence and the mixed-fault race soak), and a smoke-sized run of
+# the streaming-pool benchmark.
+check: vet race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence bench-pool-smoke
 
 # train-equivalence gates the presorted-column training engine: the
 # builder-equivalence property tests (presorted vs reference builder must
@@ -55,6 +56,17 @@ chaos-equivalence:
 chaos-soak:
 	go test -race -run 'TestChaosSoakMixedFaults|TestCampaignQuarantinesPanickedCells|TestSchedulerQuarantinesPanics|TestTimeoutCutsHangAsRetryable|TestNoGoroutineLeakCancelDuringHang|TestBackoffInterruptedByCancel|TestBackoffClampedByTimeout' ./internal/experiment ./internal/campaign ./internal/core
 
+# pool-equivalence gates the streaming sharded scoring pipeline: the
+# streaming selection path must be bit-identical to the in-memory path
+# for every strategy, invariant across shard sizes and worker counts —
+# sources replay materialized draws exactly, ScoreBatch equals
+# PredictBatch per row, the bounded top-k reducers match the sort-based
+# selection helpers on the shared ordering-contract table, RunStream
+# equals Run end to end (including resume from any snapshot), and the
+# full Tune pipeline lands on the same configuration either way.
+pool-equivalence:
+	go test -race -run 'TestRunStreamMatchesRun|TestRunStreamEnumerationSource|TestResumeStreamEquivalence|TestSelectStreamMatchesSelect|TestSelectionContractSharedTable|TestSelectionHelpersClampK|TestSourcesShardInvariance|TestUniformMatchesSampleConfigs|TestLHSMatchesSampleLHS|TestScanShardWorkerInvariance|TestScanExactlyOnce|TestTopKMatchesOracle|TestScoreBatchMatchesPredictBatch|TestScoreBatchConcurrent|TestStreamMatchesInMemory' ./internal/core ./internal/pool ./internal/forest ./internal/autotune
+
 vet:
 	go vet ./...
 
@@ -78,6 +90,19 @@ bench-train:
 bench-campaign:
 	go test -bench 'BenchmarkCampaignFig2' -benchmem -run xxx .
 	go test -bench 'WriteCSV' -benchmem -run xxx ./internal/dataset
+
+# Streaming-pool benchmark: PWU-score a pool that is never materialized
+# (generate -> encode -> 64-tree score -> bounded top-k). POOL_BENCH_N
+# sets the pool size; the default is 200k and the 10^7-config
+# demonstration is POOL_BENCH_N=10000000 (B/op stays flat — peak memory
+# is O(workers x shard), not O(pool)).
+bench-pool:
+	go test -bench 'BenchmarkPoolStreamPWU' -benchmem -run xxx .
+
+# Smoke-sized bench-pool for the check gate and CI: a 20k pool, one
+# iteration — proves the pipeline end to end in about a second.
+bench-pool-smoke:
+	POOL_BENCH_N=20000 go test -bench 'BenchmarkPoolStreamPWU' -benchmem -benchtime 1x -run xxx .
 
 # Regenerate every table and figure of the paper (quick, shape-preserving).
 figures:

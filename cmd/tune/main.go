@@ -7,7 +7,12 @@
 //
 //	tune -bench atax [-budget 200] [-searcher anneal] [-verify 5] [-seed 42]
 //	     [-checkpoint tune.ckpt] [-every 10] [-retries 2] [-timeout 30s]
-//	     [-chaos err=0.1,hang=0.01]
+//	     [-chaos err=0.1,hang=0.01] [-stream] [-pool 1000000] [-shard 1024]
+//
+// With -stream, the candidate pool of the model phase is generated lazily
+// and scored shard by shard instead of being materialized, so -pool can
+// scale to production spaces (10^6+) with bounded memory; the result is
+// bit-identical to the in-memory mode for the same seed.
 //
 // With -checkpoint, the expensive model-building phase is resumable:
 // SIGINT drains the current measurement, writes a snapshot, and exits
@@ -51,6 +56,9 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "snapshot file making the model phase resumable")
 	every := flag.Int("every", 10, "iterations between snapshots (with -checkpoint)")
 	retries := flag.Int("retries", 0, "retry budget per failed measurement")
+	stream := flag.Bool("stream", false, "stream the candidate pool shard by shard instead of materializing it\n(same result bit for bit; memory stays bounded for huge -pool sizes)")
+	poolSize := flag.Int("pool", 0, "unlabeled candidate pool size (0 = pipeline default)")
+	shard := flag.Int("shard", 0, "candidates per scoring shard with -stream (0 = default 1024)")
 	timeout := flag.Duration("timeout", 0, "per-measurement deadline; a hung run is cut off and retried (0 = none)")
 	chaosSpec := flag.String("chaos", "", "fault-injection scenario for the model phase;\n"+chaos.Grammar)
 	flag.Parse()
@@ -73,6 +81,11 @@ func main() {
 	cfg.Failure = core.FailurePolicy{MaxRetries: *retries, Backoff: 100 * time.Millisecond,
 		MaxBackoff: 5 * time.Second, Timeout: *timeout}
 	cfg.Chaos = scenario
+	cfg.Stream = *stream
+	cfg.StreamShard = *shard
+	if *poolSize > 0 {
+		cfg.PoolSize = *poolSize
+	}
 	cfg.Logf = func(format string, args ...interface{}) {
 		fmt.Fprintf(os.Stderr, "tune: "+format+"\n", args...)
 	}
@@ -80,6 +93,9 @@ func main() {
 	fmt.Printf("tuning %s (%s)\n", p.Name(), p.Description())
 	fmt.Printf("pipeline: %d real runs -> %s search x %d -> verify %d\n\n",
 		cfg.ModelBudget, cfg.Searcher, cfg.SearchBudget, cfg.Verify)
+	if cfg.Stream {
+		fmt.Printf("pool: %d candidates, streamed shard by shard\n\n", cfg.PoolSize)
+	}
 	if *checkpoint != "" {
 		if _, err := os.Stat(*checkpoint); err == nil {
 			fmt.Printf("resuming model phase from %s\n\n", *checkpoint)

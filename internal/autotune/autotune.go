@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/forest"
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/runstate"
 	"repro/internal/search"
@@ -76,6 +77,21 @@ type Config struct {
 	// policy. The verify and baseline measurements stay fault-free. The
 	// zero scenario injects nothing.
 	Chaos chaos.Scenario
+
+	// Stream runs the model phase through core.RunStream: the candidate
+	// pool is generated lazily shard by shard instead of being
+	// materialized as PoolSize configs up front, so PoolSize can scale to
+	// production spaces (10^6–10^8) with memory bounded by
+	// O(StreamWorkers × StreamShard). The pool sequence is bit-identical
+	// to the in-memory one, so for the same seed both modes produce the
+	// same outcome — the pool-equivalence gate pins this.
+	Stream bool
+
+	// StreamShard and StreamWorkers tune the sharded pool scan
+	// (candidates per scoring shard, concurrent scoring workers); <= 0
+	// uses the pool package defaults. Ignored without Stream.
+	StreamShard   int
+	StreamWorkers int
 
 	// Logf, when set, receives warnings the pipeline can recover from —
 	// e.g. a corrupt checkpoint being discarded for a cold start. Nil
@@ -155,11 +171,14 @@ func Tune(ctx context.Context, p bench.Problem, cfg Config, seed uint64) (*Outco
 	// Phase 1: surrogate via PWU active learning. Every input below is
 	// regenerated deterministically from the seed, which is what lets a
 	// resumed phase validate the pool fingerprint and continue the
-	// exact run.
-	pool := sp.SampleConfigs(r.Split(), cfg.PoolSize)
+	// exact run. poolR seeds the unlabeled pool: materialized via
+	// SampleConfigs, or replayed lazily by a pool.Uniform source carrying
+	// the same seed — the two yield the identical candidate sequence.
+	poolR := r.Split()
 	params := core.Params{
 		NInit: 10, NBatch: 5, NMax: cfg.ModelBudget,
 		Forest: cfg.Forest, Failure: cfg.Failure,
+		StreamShard: cfg.StreamShard, StreamWorkers: cfg.StreamWorkers,
 	}
 	if cfg.CheckpointPath != "" {
 		params.CheckpointEvery = cfg.CheckpointEvery
@@ -196,10 +215,20 @@ func Tune(ctx context.Context, p bench.Problem, cfg Config, seed uint64) (*Outco
 			}
 		}
 	}
-	if snap != nil {
-		res, err = core.Resume(ctx, snap, sp, pool, modelEv, strat, params, nil)
+	if cfg.Stream {
+		src := pool.NewUniform(sp, poolR.Seed(), cfg.PoolSize)
+		if snap != nil {
+			res, err = core.ResumeStream(ctx, snap, src, modelEv, strat, params, nil)
+		} else {
+			res, err = core.RunStream(ctx, src, modelEv, strat, params, loopR, nil)
+		}
 	} else {
-		res, err = core.Run(ctx, sp, pool, modelEv, strat, params, loopR, nil)
+		mem := sp.SampleConfigs(poolR, cfg.PoolSize)
+		if snap != nil {
+			res, err = core.Resume(ctx, snap, sp, mem, modelEv, strat, params, nil)
+		} else {
+			res, err = core.Run(ctx, sp, mem, modelEv, strat, params, loopR, nil)
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("autotune: model phase: %w", err)

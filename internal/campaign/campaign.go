@@ -26,6 +26,7 @@ package campaign
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -207,10 +208,27 @@ func Run(ctx context.Context, workers int, tasks []Task) Stats {
 	st.Steals = int(steals.Load())
 	st.Busy = time.Duration(busy.Load())
 	st.Wall = time.Since(start)
-	if st.Wall > 0 && workers > 0 {
-		st.Utilization = float64(st.Busy) / (float64(st.Wall) * float64(workers))
-	}
+	st.Utilization = ratio(float64(st.Busy), float64(st.Wall)*float64(workers))
 	return st
+}
+
+// ratio divides num by den guarded against degenerate campaigns: a zero
+// (or negative) denominator — a zero-task drain whose wall clock never
+// ticked, an accumulator that has seen nothing — and non-finite inputs
+// all yield 0, so no NaN/Inf percentage can leak into campaign.csv or
+// the report table.
+func ratio(num, den float64) float64 {
+	if den <= 0 || math.IsNaN(num) || math.IsInf(num, 0) {
+		return 0
+	}
+	return num / den
+}
+
+// StealRate returns steals per executed task — how much rebalancing the
+// drain needed after the round-robin deal. A zero-task campaign reports
+// 0, never NaN.
+func (s *Stats) StealRate() float64 {
+	return ratio(float64(s.Steals), float64(s.Tasks))
 }
 
 // Add accumulates another drain's statistics (for harnesses that run
@@ -225,7 +243,5 @@ func (s *Stats) Add(o Stats) {
 	s.Panics = append(s.Panics, o.Panics...)
 	s.Busy += o.Busy
 	s.Wall += o.Wall
-	if s.Wall > 0 && s.Workers > 0 {
-		s.Utilization = float64(s.Busy) / (float64(s.Wall) * float64(s.Workers))
-	}
+	s.Utilization = ratio(float64(s.Busy), float64(s.Wall)*float64(s.Workers))
 }

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"errors"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -81,6 +82,53 @@ func TestSchedulerEmpty(t *testing.T) {
 	st := Run(context.Background(), 4, nil)
 	if st.Tasks != 0 || st.Steals != 0 {
 		t.Fatalf("empty drain stats = %+v", st)
+	}
+}
+
+// TestStatsZeroGuards pins the degenerate-campaign regression: a
+// zero-task or zero-wall-clock campaign must derive 0 for utilization
+// and steal rate, never NaN or Inf — those values flow straight into
+// campaign.csv and the report table.
+func TestStatsZeroGuards(t *testing.T) {
+	finite := func(label string, v float64) {
+		t.Helper()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s is non-finite: %v", label, v)
+		}
+	}
+	empty := Run(context.Background(), 4, nil)
+	finite("empty-drain utilization", empty.Utilization)
+	if empty.Utilization != 0 || empty.StealRate() != 0 {
+		t.Fatalf("empty drain: utilization %v, steal rate %v, want 0, 0", empty.Utilization, empty.StealRate())
+	}
+
+	// Hand-built degenerate accumulations: busy time with no wall clock,
+	// steals with no tasks (a corrupted or partially merged record).
+	cases := []Stats{
+		{},
+		{Workers: 8},
+		{Busy: time.Second},
+		{Steals: 17},
+		{Workers: 8, Busy: time.Second, Steals: 17},
+	}
+	for i, st := range cases {
+		var acc Stats
+		acc.Add(st)
+		finite("accumulated utilization", acc.Utilization)
+		finite("accumulated steal rate", acc.StealRate())
+		if acc.Utilization != 0 || acc.StealRate() != 0 {
+			t.Fatalf("case %d: utilization %v, steal rate %v, want 0, 0", i, acc.Utilization, acc.StealRate())
+		}
+	}
+
+	// And a healthy accumulation still derives real rates.
+	var acc Stats
+	acc.Add(Stats{Workers: 2, Tasks: 10, Steals: 5, Busy: time.Second, Wall: time.Second})
+	if acc.Utilization != 0.5 {
+		t.Fatalf("healthy utilization %v, want 0.5", acc.Utilization)
+	}
+	if acc.StealRate() != 0.5 {
+		t.Fatalf("healthy steal rate %v, want 0.5", acc.StealRate())
 	}
 }
 

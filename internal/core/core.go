@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/forest"
+	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/space"
 )
@@ -312,6 +313,15 @@ type Params struct {
 	// default Fitter. Custom Fitters whose models implement
 	// json.Marshaler set this to make their runs resumable.
 	ModelLoader func(data []byte) (Model, error)
+
+	// StreamShard and StreamWorkers tune RunStream's sharded pool scan:
+	// candidates per scoring shard and concurrent scoring workers
+	// (<= 0 uses the pool package defaults of 1024 and GOMAXPROCS).
+	// They are performance knobs only — selection is bit-identical
+	// across every setting, which the pool-equivalence gate enforces —
+	// and the in-memory Run ignores them.
+	StreamShard   int
+	StreamWorkers int
 }
 
 // Normalized returns p with the engine's defaults applied. Callers that
@@ -511,7 +521,9 @@ func (r *Result) Telemetry() RunStats {
 	return a
 }
 
-// engine holds the live loop state shared by Run and Resume.
+// engine holds the live loop state shared by Run and Resume, and — with
+// src/ss/taken in place of pool/poolX/remaining — by their streaming
+// counterparts RunStream and ResumeStream.
 type engine struct {
 	ctx      context.Context
 	sp       *space.Space
@@ -524,6 +536,15 @@ type engine struct {
 	r        *rng.RNG
 	obs      Observer
 	fitter   Fitter
+
+	// src, ss and taken are the streaming run's pool state: the lazy
+	// candidate source, the streaming strategy, and the sorted global
+	// indices already removed from the pool (at most NMax of them — the
+	// streaming analogue of `remaining`, inverted so its size scales
+	// with labels taken rather than pool size).
+	src   pool.Source
+	ss    StreamStrategy
+	taken []int
 
 	res       *Result
 	trainX    [][]float64
@@ -582,11 +603,23 @@ func Run(ctx context.Context, sp *space.Space, pool []space.Config, ev Evaluator
 // init prepares the encoded pool, membership tracking and the fitter.
 func (e *engine) init() {
 	e.poolX = e.sp.EncodeAll(e.pool)
-	e.features = e.sp.Features()
 	e.remaining = make([]int, len(e.pool))
 	for i := range e.remaining {
 		e.remaining[i] = i
 	}
+	e.initCommon()
+}
+
+// initStream prepares the streaming run's state: no encoded pool, no
+// remaining list — membership is the sorted taken set.
+func (e *engine) initStream() {
+	e.taken = make([]int, 0, e.p.NMax)
+	e.initCommon()
+}
+
+// initCommon prepares the state both engines share.
+func (e *engine) initCommon() {
+	e.features = e.sp.Features()
 	e.trainX = make([][]float64, 0, e.p.NMax)
 	e.fitter = e.p.Fitter
 	if e.fitter == nil {

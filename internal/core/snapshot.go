@@ -34,8 +34,20 @@ type Snapshot struct {
 	PoolHash uint64 `json:"pool_hash"`
 
 	// Remaining is the unlabeled pool membership, as indices into the
-	// original pool, in engine order.
+	// original pool, in engine order. Streamed runs leave it nil: their
+	// membership is the complement of Taken, which scales with labels
+	// collected instead of pool size.
 	Remaining []int `json:"remaining"`
+
+	// Streamed marks a snapshot taken by RunStream. Such snapshots store
+	// Taken instead of Remaining, fingerprint the candidate source in
+	// PoolHash, and resume via ResumeStream. Both fields are additive to
+	// the version-1 format: pre-streaming snapshots load unchanged.
+	Streamed bool `json:"streamed,omitempty"`
+
+	// Taken is the sorted set of global source indices already removed
+	// from the pool of a streamed run.
+	Taken []int `json:"taken,omitempty"`
 
 	// TrainConfigs / TrainY are the labeled set in labeling order.
 	TrainConfigs []space.Config `json:"train_configs"`
@@ -129,9 +141,6 @@ func (e *engine) snapshot() (*Snapshot, error) {
 	snap := &Snapshot{
 		Version:      snapshotVersion,
 		Iteration:    e.iter,
-		PoolSize:     len(e.pool),
-		PoolHash:     poolHash(e.pool),
-		Remaining:    append([]int(nil), e.remaining...),
 		TrainConfigs: append([]space.Config(nil), e.res.TrainConfigs...),
 		TrainY:       append([]float64(nil), e.res.TrainY...),
 		RNG:          e.r.State(),
@@ -141,11 +150,27 @@ func (e *engine) snapshot() (*Snapshot, error) {
 		FailedCost:   e.res.FailedCost,
 		GuardCost:    e.res.GuardCost,
 	}
+	if e.src != nil {
+		snap.Streamed = true
+		snap.PoolSize = e.src.Len()
+		snap.PoolHash = e.src.Fingerprint()
+		snap.Taken = append([]int(nil), e.taken...)
+	} else {
+		snap.PoolSize = len(e.pool)
+		snap.PoolHash = poolHash(e.pool)
+		snap.Remaining = append([]int(nil), e.remaining...)
+	}
 	if sev, ok := e.ev.(StatefulEvaluator); ok {
 		st := sev.EvaluatorState()
 		snap.Evaluator = &st
 	}
 	return snap, nil
+}
+
+// defaultModelLoader is the Resume/ResumeStream model fallback, matching
+// the default forest Fitter.
+func defaultModelLoader(data []byte) (Model, error) {
+	return forest.Load(bytes.NewReader(data))
 }
 
 // Resume continues a run from a Snapshot, bit-identically to the run
@@ -166,6 +191,9 @@ func Resume(ctx context.Context, snap *Snapshot, sp *space.Space, pool []space.C
 	}
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("core: snapshot version %d, engine speaks %d", snap.Version, snapshotVersion)
+	}
+	if snap.Streamed {
+		return nil, fmt.Errorf("core: snapshot was taken by a streamed run; use ResumeStream")
 	}
 	p := params.Normalized()
 	if sp == nil {
@@ -201,9 +229,7 @@ func Resume(ctx context.Context, snap *Snapshot, sp *space.Space, pool []space.C
 	}
 	loader := p.ModelLoader
 	if loader == nil {
-		loader = func(data []byte) (Model, error) {
-			return forest.Load(bytes.NewReader(data))
-		}
+		loader = defaultModelLoader
 	}
 	model, err := loader(snap.Model)
 	if err != nil {

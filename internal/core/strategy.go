@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/pool"
 	"repro/internal/rng"
 )
 
@@ -56,12 +57,31 @@ type Strategy interface {
 	Select(c *Candidates, nBatch int) []int
 }
 
-// clampBatch bounds nBatch by the candidate count.
+// clampBatch bounds nBatch by the candidate count. A negative request
+// clamps to 0 (an empty selection) instead of reaching the selection
+// helpers, where a negative slice bound would panic.
 func clampBatch(c *Candidates, nBatch int) int {
 	if nBatch > c.Len() {
-		return c.Len()
+		nBatch = c.Len()
+	}
+	if nBatch < 0 {
+		nBatch = 0
 	}
 	return nBatch
+}
+
+// clampK bounds a selection size into [0, n]. The sort-based helpers
+// historically sliced idx[:k] unchecked, so k > len(scores) or k < 0
+// panicked; the streaming reducers naturally return min(k, n) entries,
+// and the helpers must agree with them on every input.
+func clampK(k, n int) int {
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
 }
 
 // sinkNaNs returns scores with every NaN replaced by sink (−Inf for
@@ -87,8 +107,10 @@ func sinkNaNs(scores []float64, sink float64) []float64 {
 }
 
 // topKByScore returns the indices of the k largest scores (ties broken by
-// lower index, deterministically; NaN scores rank last).
+// lower index, deterministically; NaN scores rank last). k is clamped
+// into [0, len(scores)].
 func topKByScore(scores []float64, k int) []int {
+	k = clampK(k, len(scores))
 	scores = sinkNaNs(scores, math.Inf(-1))
 	idx := make([]int, len(scores))
 	for i := range idx {
@@ -99,16 +121,11 @@ func topKByScore(scores []float64, k int) []int {
 }
 
 // xKey builds a hashable key for a feature vector, used to recognise
-// pool duplicates during batch selection.
+// pool duplicates during batch selection. It delegates to the streaming
+// reducers' key so the two selection paths can never disagree on what
+// counts as a duplicate.
 func xKey(x []float64) string {
-	b := make([]byte, 0, 8*len(x))
-	for _, v := range x {
-		u := math.Float64bits(v)
-		for s := 0; s < 64; s += 8 {
-			b = append(b, byte(u>>uint(s)))
-		}
-	}
-	return string(b)
+	return pool.VectorKey(x)
 }
 
 // topKDistinctByScore returns the k highest-scoring candidate indices
@@ -119,8 +136,9 @@ func xKey(x []float64) string {
 // one configuration whose model belief cannot change until the refit.
 // Duplicates are only used to fill the batch when distinct candidates
 // run out. With nBatch = 1 (the paper's setting) this is identical to
-// topKByScore. NaN scores rank last.
+// topKByScore. NaN scores rank last. k is clamped into [0, len(scores)].
 func topKDistinctByScore(scores []float64, c *Candidates, k int) []int {
+	k = clampK(k, len(scores))
 	scores = sinkNaNs(scores, math.Inf(-1))
 	idx := make([]int, len(scores))
 	for i := range idx {
@@ -155,8 +173,9 @@ func topKDistinctByScore(scores []float64, c *Candidates, k int) []int {
 }
 
 // bottomKByScore returns the indices of the k smallest scores; NaN
-// scores rank last.
+// scores rank last. k is clamped into [0, len(scores)].
 func bottomKByScore(scores []float64, k int) []int {
+	k = clampK(k, len(scores))
 	scores = sinkNaNs(scores, math.Inf(1))
 	idx := make([]int, len(scores))
 	for i := range idx {

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/pool"
+	"repro/internal/rng"
+)
+
+// PoolStream is what a streaming strategy sees each iteration: the
+// remaining candidate pool as a scored stream instead of a materialized
+// (X, Mu, Sigma) view. Candidate indices ("ordinals") are the candidate's
+// rank among remaining candidates in source order — exactly the indices
+// the in-memory Candidates view would expose for the same pool — and
+// SelectStream returns them just like Strategy.Select does.
+type PoolStream interface {
+	// Len returns the number of remaining candidates.
+	Len() int
+
+	// BestY returns the best (smallest) observed training label so far,
+	// the incumbent EI improves upon.
+	BestY() float64
+
+	// Rand returns the run's generator; streaming strategies must draw
+	// from it exactly as their in-memory Select would, so both paths
+	// leave the stream at the same position.
+	Rand() *rng.RNG
+
+	// Scan streams every remaining candidate through consume exactly
+	// once, in unspecified order, with deterministic (ord, x, mu, sigma)
+	// values. consume is never called concurrently, and x is only valid
+	// during the call. Strategies may scan more than once per selection
+	// (the model is fixed, so repeated scans see identical scores).
+	Scan(consume func(ord int, x []float64, mu, sigma float64)) error
+}
+
+// StreamStrategy is a Strategy that can also select from a streamed pool
+// without ever materializing it. The contract is bit-identity: for the
+// same remaining pool, model beliefs and rng state, SelectStream must
+// return exactly the indices Select would and leave the generator at the
+// same position. All built-in strategies implement it; the
+// pool-equivalence gate enforces the identity.
+type StreamStrategy interface {
+	Strategy
+
+	// SelectStream returns the candidate ordinals to evaluate next.
+	SelectStream(ps PoolStream, nBatch int) ([]int, error)
+}
+
+// clampStreamBatch mirrors clampBatch for the streaming view.
+func clampStreamBatch(ps PoolStream, nBatch int) int {
+	if n := ps.Len(); nBatch > n {
+		nBatch = n
+	}
+	if nBatch < 0 {
+		nBatch = 0
+	}
+	return nBatch
+}
+
+// selectStreamTopK runs one scan reducing score(mu, sigma) into the
+// distinct top-nBatch — the streaming counterpart of the score-then-
+// topKDistinctByScore shape shared by PWU, BestPerf, MaxU, EI and CV.
+func selectStreamTopK(ps PoolStream, nBatch int, score func(mu, sigma float64) float64) ([]int, error) {
+	nBatch = clampStreamBatch(ps, nBatch)
+	if nBatch == 0 {
+		return nil, nil
+	}
+	tk := pool.NewTopKDistinct(nBatch)
+	if err := ps.Scan(func(ord int, x []float64, mu, sigma float64) {
+		tk.Push(ord, score(mu, sigma), x)
+	}); err != nil {
+		return nil, err
+	}
+	return tk.Result(), nil
+}
+
+// SelectStream implements StreamStrategy.
+func (p PWU) SelectStream(ps PoolStream, nBatch int) ([]int, error) {
+	return selectStreamTopK(ps, nBatch, p.Score)
+}
+
+// SelectStream implements StreamStrategy.
+func (BestPerf) SelectStream(ps PoolStream, nBatch int) ([]int, error) {
+	return selectStreamTopK(ps, nBatch, func(mu, _ float64) float64 { return -mu })
+}
+
+// SelectStream implements StreamStrategy.
+func (MaxU) SelectStream(ps PoolStream, nBatch int) ([]int, error) {
+	return selectStreamTopK(ps, nBatch, func(_, sigma float64) float64 { return sigma })
+}
+
+// SelectStream implements StreamStrategy.
+func (e EI) SelectStream(ps PoolStream, nBatch int) ([]int, error) {
+	bestY := ps.BestY()
+	return selectStreamTopK(ps, nBatch, func(mu, sigma float64) float64 {
+		return e.Score(mu, sigma, bestY)
+	})
+}
+
+// SelectStream implements StreamStrategy.
+func (CV) SelectStream(ps PoolStream, nBatch int) ([]int, error) {
+	return PWU{Alpha: 0}.SelectStream(ps, nBatch)
+}
+
+// SelectStream implements StreamStrategy. Random needs no scan at all —
+// it draws ordinals directly, consuming the generator exactly as the
+// in-memory Select does.
+func (Random) SelectStream(ps PoolStream, nBatch int) ([]int, error) {
+	nBatch = clampStreamBatch(ps, nBatch)
+	return ps.Rand().Sample(ps.Len(), nBatch), nil
+}
+
+// perfCutoff computes the stage-1 performance filter size shared by PBUS
+// and BRS: ceil(frac·n), at least nBatch, at most n.
+func perfCutoff(n, nBatch int, frac, def float64) int {
+	if frac <= 0 {
+		frac = def
+	}
+	k := int(math.Ceil(float64(n) * frac))
+	if k < nBatch {
+		k = nBatch
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// SelectStream implements StreamStrategy. BRS keeps the bottom-k'-by-μ
+// candidate list (in bottomKByScore order) via a bounded reducer, then
+// samples uniformly from it with the same generator draws as the
+// in-memory path. Note the reducer holds k' = ceil(frac·n) entries — the
+// strategy is defined over that subset, so O(frac·n) selection state is
+// inherent to reproducing it exactly.
+func (b BRS) SelectStream(ps PoolStream, nBatch int) ([]int, error) {
+	nBatch = clampStreamBatch(ps, nBatch)
+	if nBatch == 0 {
+		return nil, nil
+	}
+	k := perfCutoff(ps.Len(), nBatch, b.TopFrac, 0.10)
+	bk := pool.NewBottomK(k)
+	if err := ps.Scan(func(ord int, _ []float64, mu, _ float64) {
+		bk.Push(ord, mu, nil)
+	}); err != nil {
+		return nil, err
+	}
+	cand := bk.Result()
+	pick := ps.Rand().Sample(len(cand), nBatch)
+	out := make([]int, nBatch)
+	for i, j := range pick {
+		out[i] = cand[j]
+	}
+	return out, nil
+}
+
+// SelectStream implements StreamStrategy. PBUS scans twice: pass 1
+// reduces the bottom-k' of μ to its boundary (the k'-th smallest under
+// the (sunk μ, ordinal) order), pass 2 selects the most uncertain
+// candidates inside that boundary. The model is fixed across passes, so
+// pass 2 sees the exact μ values pass 1 ranked — membership by
+// (μ, ordinal) comparison against the boundary reproduces the in-memory
+// stage-1 candidate set without storing it.
+func (p PBUS) SelectStream(ps PoolStream, nBatch int) ([]int, error) {
+	nBatch = clampStreamBatch(ps, nBatch)
+	if nBatch == 0 {
+		return nil, nil
+	}
+	k := perfCutoff(ps.Len(), nBatch, p.PerfFrac, 0.10)
+	bk := pool.NewBottomK(k)
+	if err := ps.Scan(func(ord int, _ []float64, mu, _ float64) {
+		bk.Push(ord, mu, nil)
+	}); err != nil {
+		return nil, err
+	}
+	bScore, bOrd, ok := bk.Worst()
+	if !ok {
+		return nil, nil
+	}
+	tk := pool.NewTopKDistinct(nBatch)
+	if err := ps.Scan(func(ord int, x []float64, mu, sigma float64) {
+		if math.IsNaN(mu) {
+			mu = math.Inf(1) // the bottom-k sink, so NaN-μ candidates rank last
+		}
+		score := math.Inf(-1)
+		if mu < bScore || (mu == bScore && ord <= bOrd) {
+			score = sigma
+		}
+		tk.Push(ord, score, x)
+	}); err != nil {
+		return nil, err
+	}
+	return tk.Result(), nil
+}

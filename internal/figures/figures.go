@@ -560,11 +560,11 @@ func (g *Generator) Telemetry() error {
 	// cmd/report: how parallel the figure runs actually were and how
 	// much labeling the single-flight cache avoided.
 	var cb strings.Builder
-	cb.WriteString("workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved\n")
-	cb.WriteString(fmt.Sprintf("%d,%d,%d,%s,%s,%.4f,%d,%d,%d\n",
+	cb.WriteString("workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved,steal_rate\n")
+	cb.WriteString(fmt.Sprintf("%d,%d,%d,%s,%s,%.4f,%d,%d,%d,%.4f\n",
 		g.sched.Workers, g.sched.Tasks, g.sched.Steals,
 		ms(g.sched.Busy), ms(g.sched.Wall), g.sched.Utilization,
-		g.dstats.Builds, g.dstats.Hits, g.dstats.LabelsSaved))
+		g.dstats.Builds, g.dstats.Hits, g.dstats.LabelsSaved, g.sched.StealRate()))
 	if err := g.writeFile("campaign.csv", cb.String()); err != nil {
 		return err
 	}

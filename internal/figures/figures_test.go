@@ -168,15 +168,20 @@ func TestTelemetryArtifacts(t *testing.T) {
 		t.Fatalf("telemetry.csv missing atax rows:\n%s", tele)
 	}
 	camp := mustRead(t, g, "campaign.csv")
-	if !strings.HasPrefix(camp, "workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved\n") {
+	if !strings.HasPrefix(camp, "workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved,steal_rate\n") {
 		t.Fatalf("campaign.csv malformed:\n%s", camp)
 	}
 	// One atax drain: 6 strategies x Smoke reps tasks, one dataset build
 	// per rep, the other five strategies hitting the cache.
 	sc := experiment.Smoke()
 	fields := strings.Split(strings.TrimSpace(strings.SplitN(camp, "\n", 2)[1]), ",")
-	if len(fields) != 9 {
+	if len(fields) != 10 {
 		t.Fatalf("campaign.csv row has %d fields:\n%s", len(fields), camp)
+	}
+	for _, f := range []string{fields[5], fields[9]} {
+		if strings.Contains(f, "NaN") || strings.Contains(f, "Inf") {
+			t.Fatalf("campaign.csv leaked a non-finite rate:\n%s", camp)
+		}
 	}
 	if want := fmt.Sprint(6 * sc.Reps); fields[1] != want {
 		t.Fatalf("campaign.csv tasks = %s, want %s", fields[1], want)

@@ -1,0 +1,50 @@
+package forest
+
+import "sync"
+
+// scoreScratch recycles ScoreBatch's per-call accumulator block (three
+// float64s per row) across calls and goroutines, so a streaming scan's
+// steady-state allocation is zero no matter how many shards it scores.
+var scoreScratch = sync.Pool{New: func() interface{} { s := []float64(nil); return &s }}
+
+// ScoreBatch scores every row of X into the caller-provided mu/sigma
+// buffers. It is the forest's implementation of the streaming pool
+// scorer contract (internal/pool.BatchScorer): safe for concurrent calls
+// (it only reads the fitted ensemble and uses pooled scratch) and
+// bit-identical per row to PredictBatch and PredictWithUncertainty,
+// because each row's Welford accumulation runs serially in ascending
+// tree order no matter how the rows are batched or sharded.
+//
+// The loop nest is tree-outer/row-inner like PredictBatch's worker chunks:
+// one compiled tree's flat arrays stay cache-resident while the whole
+// shard streams through them. The accumulator scratch is O(len X) —
+// three float64s per row, recycled through a pool — which keeps a
+// streaming scan's footprint at shard scale.
+func (f *Forest) ScoreBatch(X [][]float64, mu, sigma []float64) {
+	n := len(X)
+	if n == 0 {
+		return
+	}
+	sp := scoreScratch.Get().(*[]float64)
+	if cap(*sp) < 3*n {
+		*sp = make([]float64, 3*n)
+	}
+	s := (*sp)[:3*n]
+	for i := range s {
+		s[i] = 0
+	}
+	mean, m2, leafVar := s[:n], s[n:2*n], s[2*n:3*n]
+	for t, c := range f.compiled {
+		for j := 0; j < n; j++ {
+			pm, pv, _ := c.PredictStats(X[j])
+			d := pm - mean[j]
+			mean[j] += d / float64(t+1)
+			m2[j] += d * (pm - mean[j])
+			leafVar[j] += pv
+		}
+	}
+	for j := 0; j < n; j++ {
+		mu[j], sigma[j] = f.finishMoments(mean[j], m2[j], leafVar[j])
+	}
+	scoreScratch.Put(sp)
+}

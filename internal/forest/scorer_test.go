@@ -1,0 +1,73 @@
+package forest
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestScoreBatchMatchesPredictBatch: the streaming scorer must be
+// bit-identical per row to PredictBatch, for the whole set and for any
+// sub-batch (shards) — the determinism anchor of streaming pool scoring.
+func TestScoreBatchMatchesPredictBatch(t *testing.T) {
+	X, y := friedman(rng.New(21), 160)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 16}, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMu, wantSigma := f.PredictBatch(X)
+	for _, shard := range []int{1, 7, 64, len(X)} {
+		mu := make([]float64, shard)
+		sigma := make([]float64, shard)
+		for base := 0; base < len(X); base += shard {
+			end := base + shard
+			if end > len(X) {
+				end = len(X)
+			}
+			n := end - base
+			f.ScoreBatch(X[base:end], mu[:n], sigma[:n])
+			for i := 0; i < n; i++ {
+				if mu[i] != wantMu[base+i] || sigma[i] != wantSigma[base+i] {
+					t.Fatalf("shard %d row %d: ScoreBatch (%v, %v), PredictBatch (%v, %v)",
+						shard, base+i, mu[i], sigma[i], wantMu[base+i], wantSigma[base+i])
+				}
+			}
+		}
+	}
+}
+
+// TestScoreBatchConcurrent: concurrent ScoreBatch calls on one forest
+// must not interfere — the scan runs one call per worker.
+func TestScoreBatchConcurrent(t *testing.T) {
+	X, y := friedman(rng.New(23), 120)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 16}, rng.New(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMu, wantSigma := f.PredictBatch(X)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu := make([]float64, len(X))
+			sigma := make([]float64, len(X))
+			for rep := 0; rep < 20; rep++ {
+				f.ScoreBatch(X, mu, sigma)
+				for i := range X {
+					if mu[i] != wantMu[i] || sigma[i] != wantSigma[i] {
+						errs <- "concurrent ScoreBatch diverged from PredictBatch"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

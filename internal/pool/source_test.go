@@ -1,0 +1,151 @@
+package pool
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+func testSpace(t *testing.T) *space.Space {
+	t.Helper()
+	return space.MustNew(
+		space.Num("tile", 8, 16, 32, 64),
+		space.Cat("layout", "DGZ", "DZG", "GDZ"),
+		space.Bool("fuse"),
+		space.NumRange("unroll", 1, 4, 1),
+	)
+}
+
+// drain reads the whole source in bursts of the given size.
+func drain(t *testing.T, src Source, burst int) []space.Config {
+	t.Helper()
+	d := src.Space().NumParams()
+	buf := make([]space.Config, burst)
+	for i := range buf {
+		buf[i] = make(space.Config, d)
+	}
+	src.Reset()
+	var out []space.Config
+	for {
+		n := src.Next(buf)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, buf[i].Clone())
+		}
+	}
+	return out
+}
+
+func assertSameConfigs(t *testing.T, label string, got, want []space.Config) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d configs, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key() != want[i].Key() {
+			t.Fatalf("%s: config %d is %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSourcesShardInvariance: every source yields the identical sequence
+// no matter how reads are chunked — the contract the sharded scan and the
+// pool-equivalence gate stand on.
+func TestSourcesShardInvariance(t *testing.T) {
+	sp := testSpace(t)
+	enum, err := NewEnumeration(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := map[string]Source{
+		"enumeration": enum,
+		"uniform":     NewUniform(sp, 42, 157),
+		"lhs":         NewLHS(sp, 42, 61),
+		"slice":       NewSlice(sp, sp.SampleConfigs(rng.New(3), 83)),
+	}
+	for name, src := range sources {
+		want := drain(t, src, 1)
+		if len(want) != src.Len() {
+			t.Fatalf("%s: drained %d configs, Len promises %d", name, len(want), src.Len())
+		}
+		for _, burst := range []int{2, 7, 64, src.Len(), src.Len() + 11} {
+			assertSameConfigs(t, name, drain(t, src, burst), want)
+		}
+	}
+}
+
+// TestUniformMatchesSampleConfigs: the lazy uniform source is
+// bit-identical to the materialized pool protocol it replaces.
+func TestUniformMatchesSampleConfigs(t *testing.T) {
+	sp := testSpace(t)
+	const seed, n = 1234, 200
+	want := sp.SampleConfigs(rng.New(seed), n)
+	assertSameConfigs(t, "uniform", drain(t, NewUniform(sp, seed, n), 17), want)
+}
+
+func TestLHSMatchesSampleLHS(t *testing.T) {
+	sp := testSpace(t)
+	const seed, n = 77, 45
+	want := sp.SampleLHS(rng.New(seed), n)
+	assertSameConfigs(t, "lhs", drain(t, NewLHS(sp, seed, n), 8), want)
+}
+
+func TestEnumerationMatchesEnumerate(t *testing.T) {
+	sp := testSpace(t)
+	enum, err := NewEnumeration(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameConfigs(t, "enumeration", drain(t, enum, 13), sp.Enumerate())
+}
+
+func TestRandomAccessMatchesSequence(t *testing.T) {
+	sp := testSpace(t)
+	enum, _ := NewEnumeration(sp)
+	for name, src := range map[string]RandomAccess{
+		"enumeration": enum,
+		"lhs":         NewLHS(sp, 5, 29),
+		"slice":       NewSlice(sp, sp.SampleConfigs(rng.New(9), 31)),
+	} {
+		want := drain(t, src, 10)
+		got := make(space.Config, sp.NumParams())
+		for i := range want {
+			src.At(i, got)
+			if got.Key() != want[i].Key() {
+				t.Fatalf("%s: At(%d) = %v, sequence has %v", name, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestFingerprintsDistinguishSources(t *testing.T) {
+	sp := testSpace(t)
+	enum, _ := NewEnumeration(sp)
+	prints := map[string]uint64{
+		"enumeration":   enum.Fingerprint(),
+		"uniform-1-100": NewUniform(sp, 1, 100).Fingerprint(),
+		"uniform-2-100": NewUniform(sp, 2, 100).Fingerprint(),
+		"uniform-1-101": NewUniform(sp, 1, 101).Fingerprint(),
+		"lhs-1-100":     NewLHS(sp, 1, 100).Fingerprint(),
+	}
+	seen := map[uint64]string{}
+	for name, h := range prints {
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("fingerprint collision: %s and %s both %#x", name, prev, h)
+		}
+		seen[h] = name
+	}
+	// Stable across construction and draining.
+	u := NewUniform(sp, 1, 100)
+	before := u.Fingerprint()
+	drain(t, u, 7)
+	if u.Fingerprint() != before {
+		t.Fatal("fingerprint changed after draining")
+	}
+	if before != NewUniform(sp, 1, 100).Fingerprint() {
+		t.Fatal("fingerprint differs between identical sources")
+	}
+}

@@ -216,21 +216,38 @@ func campaignSection(path string, bw *bufio.Writer) error {
 	}
 	defer f.Close()
 
+	// Two header generations: the original nine columns, and the
+	// extension with the derived steal rate. Older artifact directories
+	// stay readable.
+	const campHeaderV1 = "workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved"
+	const campHeaderV2 = campHeaderV1 + ",steal_rate"
 	sc := bufio.NewScanner(f)
-	if !sc.Scan() || sc.Text() != "workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved" {
+	if !sc.Scan() || (sc.Text() != campHeaderV1 && sc.Text() != campHeaderV2) {
 		return fmt.Errorf("report: unexpected campaign header in %s", path)
 	}
 	if !sc.Scan() {
 		return sc.Err()
 	}
 	parts := strings.Split(sc.Text(), ",")
-	if len(parts) != 9 {
+	if len(parts) < 9 {
 		return nil
 	}
+	// A degenerate campaign (zero tasks, zero wall clock) must render as
+	// 0%, never NaN/Inf, even in artifacts written before the guarded
+	// derivations.
 	util, _ := strconv.ParseFloat(parts[5], 64)
+	if math.IsNaN(util) || math.IsInf(util, 0) {
+		util = 0
+	}
+	steals := parts[2]
+	if len(parts) >= 10 {
+		if rate, err := strconv.ParseFloat(parts[9], 64); err == nil && !math.IsNaN(rate) && !math.IsInf(rate, 0) {
+			steals = fmt.Sprintf("%s (%.2f per task)", steals, rate)
+		}
+	}
 	fmt.Fprintln(bw, "### Campaign engine")
 	fmt.Fprintln(bw)
-	fmt.Fprintf(bw, "- workers: %s, tasks: %s, steals: %s\n", parts[0], parts[1], parts[2])
+	fmt.Fprintf(bw, "- workers: %s, tasks: %s, steals: %s\n", parts[0], parts[1], steals)
 	fmt.Fprintf(bw, "- worker utilization: %.0f%% (busy %s ms of wall %s ms per worker)\n", 100*util, parts[3], parts[4])
 	fmt.Fprintf(bw, "- dataset cache: %s built, %s served from cache (%s pool/test labels not re-measured)\n",
 		parts[6], parts[7], parts[8])

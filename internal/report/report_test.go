@@ -136,3 +136,43 @@ func TestTelemetrySectionBothGenerations(t *testing.T) {
 		t.Fatalf("quiet v2 artifact rendered an empty guard table:\n%s", quiet)
 	}
 }
+
+// TestCampaignSectionBothGenerations: the campaign table renders from
+// both csv generations, the steal rate shows up when present, and a
+// degenerate or corrupt artifact's NaN/Inf utilization renders as 0%.
+func TestCampaignSectionBothGenerations(t *testing.T) {
+	run := func(csv string) string {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "campaign.csv"), []byte(csv), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Generate(dir, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	v1 := run("workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved\n" +
+		"8,288,17,52000.000,7100.000,0.9155,24,120,18000\n")
+	if !strings.Contains(v1, "steals: 17\n") || !strings.Contains(v1, "worker utilization: 92%") {
+		t.Fatalf("v1 campaign not rendered:\n%s", v1)
+	}
+
+	v2 := run("workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved,steal_rate\n" +
+		"8,288,17,52000.000,7100.000,0.9155,24,120,18000,0.0590\n")
+	if !strings.Contains(v2, "steals: 17 (0.06 per task)") {
+		t.Fatalf("v2 steal rate not rendered:\n%s", v2)
+	}
+
+	for _, bad := range []string{"NaN", "+Inf"} {
+		out := run("workers,tasks,steals,busy_ms,wall_ms,utilization,dataset_builds,dataset_hits,labels_saved,steal_rate\n" +
+			"0,0,0,0.000,0.000," + bad + ",0,0,0," + bad + "\n")
+		if !strings.Contains(out, "worker utilization: 0%") {
+			t.Fatalf("%s utilization leaked into the report:\n%s", bad, out)
+		}
+		if strings.Contains(out, "per task") {
+			t.Fatalf("%s steal rate leaked into the report:\n%s", bad, out)
+		}
+	}
+}

@@ -79,6 +79,12 @@ func (r *RNG) Child(i uint64) *RNG {
 	return New(Mix(r.seed, i+1))
 }
 
+// Seed returns the seed the generator was constructed with. It identifies
+// the stream (New(r.Seed()) restarts it from the beginning) and lets a
+// caller hand an equivalent-from-scratch generator to a lazy source whose
+// resets must replay the exact draw sequence.
+func (r *RNG) Seed() uint64 { return r.seed }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

@@ -2,14 +2,18 @@ package space
 
 import "repro/internal/rng"
 
-// SampleLHS draws n configurations by discrete Latin-hypercube sampling:
-// for every parameter independently, the n draws are stratified so each
-// level receives as equal a share of the samples as possible (with the
-// assignment order shuffled per parameter). Compared with uniform
-// sampling it guarantees marginal coverage of every level once
-// n >= NumLevels, which matters for small pools — an alternative
-// cold-start/pool design ablated in the benchmarks.
-func (s *Space) SampleLHS(r *rng.RNG, n int) []Config {
+// SampleLHSColumns precomputes the per-parameter level columns that define
+// a discrete Latin-hypercube draw of size n: column j holds, for each of
+// the n samples, the level index of parameter j. Stratum i of n maps onto
+// level floor(i*L/n) — levels are hit round-robin with remainders spread
+// evenly — and the assignment order is then shuffled per parameter.
+//
+// The rng stream is consumed entirely here, in one fixed pass over the
+// parameters, so a caller that hands the columns to a lazy source and reads
+// the samples in shards consumes exactly the same random draws as one that
+// materializes all n configs up front. That shard-size invariance is what
+// lets the streaming pool pipeline reproduce SampleLHS bit-for-bit.
+func (s *Space) SampleLHSColumns(r *rng.RNG, n int) [][]int {
 	if n <= 0 {
 		return nil
 	}
@@ -18,12 +22,25 @@ func (s *Space) SampleLHS(r *rng.RNG, n int) []Config {
 		L := p.NumLevels()
 		col := make([]int, n)
 		for i := 0; i < n; i++ {
-			// Stratum i of n maps onto level floor(i*L/n): levels are
-			// hit round-robin with remainders spread evenly.
 			col[i] = i * L / n
 		}
 		r.Shuffle(n, func(a, b int) { col[a], col[b] = col[b], col[a] })
 		cols[j] = col
+	}
+	return cols
+}
+
+// SampleLHS draws n configurations by discrete Latin-hypercube sampling:
+// for every parameter independently, the n draws are stratified so each
+// level receives as equal a share of the samples as possible (with the
+// assignment order shuffled per parameter). Compared with uniform
+// sampling it guarantees marginal coverage of every level once
+// n >= NumLevels, which matters for small pools — an alternative
+// cold-start/pool design ablated in the benchmarks.
+func (s *Space) SampleLHS(r *rng.RNG, n int) []Config {
+	cols := s.SampleLHSColumns(r, n)
+	if cols == nil {
+		return nil
 	}
 	out := make([]Config, n)
 	for i := 0; i < n; i++ {

@@ -369,29 +369,20 @@ func (s *Space) SampleDistinct(r *rng.RNG, n int) []Config {
 
 // Enumerate lists every configuration of the space in odometer order. It
 // panics if the space has more than 1<<22 points; callers should check
-// Cardinality first for anything that could be large.
+// Cardinality first for anything that could be large (and use Iter to
+// stream such spaces instead of materializing them).
 func (s *Space) Enumerate() []Config {
 	card, ok := s.Cardinality()
 	if !ok || card > 1<<22 {
 		panic("space: Enumerate on a space that is too large")
 	}
 	out := make([]Config, 0, card)
+	it := s.Iter()
 	cur := make(Config, len(s.params))
-	for {
+	for it.Next(cur) {
 		out = append(out, cur.Clone())
-		i := len(cur) - 1
-		for i >= 0 {
-			cur[i]++
-			if cur[i] < s.params[i].NumLevels() {
-				break
-			}
-			cur[i] = 0
-			i--
-		}
-		if i < 0 {
-			return out
-		}
 	}
+	return out
 }
 
 // FeatureKind tells a learner how to treat an encoded feature column.

@@ -1,0 +1,80 @@
+// bench-pool: throughput of the streaming sharded scoring pipeline.
+//
+// BenchmarkPoolStreamPWU scores a pool of POOL_BENCH_N uniform candidates
+// (default 200k; set POOL_BENCH_N=10000000 for the 10^7-config
+// demonstration) with a paper-scale 64-tree forest and reduces the PWU
+// scores into a bounded top-k heap — the exact hot path of
+// core.RunStream's selection step. The pool is never materialized: peak
+// memory is O(workers x shard) regardless of POOL_BENCH_N, which
+// -benchmem makes visible (B/op stays flat as the pool grows).
+//
+// The reported ns/candidate metric is the honest per-candidate cost of
+// generate + encode + 64-tree score + heap push on this machine; total
+// pool scoring time is pool_size x ns/candidate (embarrassingly parallel
+// across cores, so it divides by the worker count on real hardware).
+package repro_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/pool"
+	"repro/internal/rng"
+)
+
+// poolBenchN is the streamed pool size: POOL_BENCH_N from the
+// environment, defaulting to 200k (a few seconds single-core).
+func poolBenchN(b *testing.B) int {
+	if s := os.Getenv("POOL_BENCH_N"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			b.Fatalf("POOL_BENCH_N=%q: want a positive integer", s)
+		}
+		return n
+	}
+	return 200_000
+}
+
+func BenchmarkPoolStreamPWU(b *testing.B) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := p.Space()
+	r := rng.New(42)
+	train := sp.SampleConfigs(r, 200)
+	X := sp.EncodeAll(train)
+	y := make([]float64, len(train))
+	for i, c := range train {
+		y[i] = p.TrueTime(c)
+	}
+	f, err := forest.Fit(X, y, sp.Features(), forest.Config{NumTrees: 64}, r.Split())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	n := poolBenchN(b)
+	strat := core.PWU{Alpha: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := pool.NewUniform(sp, 7, n)
+		top := pool.NewTopKDistinct(16)
+		err := pool.Scan(src, f, pool.ScanConfig{}, func(ord int, x []float64, mu, sigma float64) {
+			top.Push(ord, strat.Score(mu, sigma), x)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(top.Result()) == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+	b.StopTimer()
+	perCand := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(n)
+	b.ReportMetric(perCand, "ns/candidate")
+	b.ReportMetric(float64(n), "pool_size")
+}
