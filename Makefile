@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence bench bench-train bench-campaign bench-pool bench-pool-smoke figures figures-paper report examples clean
+.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence bench bench-train bench-campaign bench-pool bench-pool-smoke figures figures-paper report examples clean
 
 all: build check
 
@@ -9,11 +9,11 @@ build:
 
 # check is the pre-commit gate: static analysis, the full test suite
 # under the race detector (the forest/experiment layers are heavily
-# concurrent), the four equivalence gates (training engine, resume,
-# campaign engine, streaming pool), the chaos gates (fault-injection
-# equivalence and the mixed-fault race soak), and a smoke-sized run of
-# the streaming-pool benchmark.
-check: vet race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence bench-pool-smoke
+# concurrent), the five equivalence gates (training engine, resume,
+# campaign engine, streaming pool, quantized scoring), the chaos gates
+# (fault-injection equivalence and the mixed-fault race soak), and a
+# smoke-sized run of the streaming-pool benchmark.
+check: vet race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence bench-pool-smoke
 
 # train-equivalence gates the presorted-column training engine: the
 # builder-equivalence property tests (presorted vs reference builder must
@@ -67,6 +67,16 @@ chaos-soak:
 pool-equivalence:
 	go test -race -run 'TestRunStreamMatchesRun|TestRunStreamEnumerationSource|TestResumeStreamEquivalence|TestSelectStreamMatchesSelect|TestSelectionContractSharedTable|TestSelectionHelpersClampK|TestSourcesShardInvariance|TestUniformMatchesSampleConfigs|TestLHSMatchesSampleLHS|TestScanShardWorkerInvariance|TestScanExactlyOnce|TestTopKMatchesOracle|TestScoreBatchMatchesPredictBatch|TestScoreBatchConcurrent|TestStreamMatchesInMemory' ./internal/core ./internal/pool ./internal/forest ./internal/autotune
 
+# quant-equivalence gates the quantized scoring kernel against the
+# exact engine on the paper's own spaces (SPAPT atax, Kripke, Hypre):
+# per-candidate (μ, σ) within the documented float32 tolerance over a
+# 20k-candidate pool, and the streamed PWU top-k selection identical
+# through either kernel — plus the tree-layer property tests (monotone
+# threshold rounding, packed-node round trips, categorical splits) and
+# the kernel's shard-invariance, cache-bit-identity and race checks.
+quant-equivalence:
+	go test -race -run 'TestQuantTopKMatchesExact|TestQuant|TestScoreBatchQ|TestEnableQuant|TestStreamQuant|TestStreamCacheEquivalence' . ./internal/tree ./internal/forest ./internal/core
+
 vet:
 	go vet ./...
 
@@ -92,17 +102,23 @@ bench-campaign:
 	go test -bench 'WriteCSV' -benchmem -run xxx ./internal/dataset
 
 # Streaming-pool benchmark: PWU-score a pool that is never materialized
-# (generate -> encode -> 64-tree score -> bounded top-k). POOL_BENCH_N
-# sets the pool size; the default is 200k and the 10^7-config
-# demonstration is POOL_BENCH_N=10000000 (B/op stays flat — peak memory
-# is O(workers x shard), not O(pool)).
+# (generate -> encode -> 64-tree score -> bounded top-k), on both the
+# exact and the quantized kernel. POOL_BENCH_N sets the pool size; the
+# default is 200k and the 10^7-config demonstration is
+# POOL_BENCH_N=10000000 (B/op stays flat — peak memory is
+# O(workers x shard), not O(pool)). Each run appends machine-readable
+# entries to BENCH_pool.json (schema: pool_bench_test.go), the recorded
+# benchmark trajectory that bench-pool-smoke guards against and
+# `go run ./cmd/report -bench-pool BENCH_pool.json` renders.
 bench-pool:
-	go test -bench 'BenchmarkPoolStreamPWU' -benchmem -run xxx .
+	BENCH_POOL_JSON=BENCH_pool.json go test -bench 'BenchmarkPoolStreamPWU' -benchmem -run xxx .
 
 # Smoke-sized bench-pool for the check gate and CI: a 20k pool, one
-# iteration — proves the pipeline end to end in about a second.
+# iteration — proves the pipeline end to end in about a second and
+# fails if either kernel's ns/candidate exceeds twice its most recent
+# BENCH_pool.json entry (the 2x margin absorbs runner noise).
 bench-pool-smoke:
-	POOL_BENCH_N=20000 go test -bench 'BenchmarkPoolStreamPWU' -benchmem -benchtime 1x -run xxx .
+	POOL_BENCH_N=20000 POOL_BENCH_BASELINE=BENCH_pool.json go test -bench 'BenchmarkPoolStreamPWU' -benchmem -benchtime 1x -run xxx .
 
 # Regenerate every table and figure of the paper (quick, shape-preserving).
 figures:

@@ -1,9 +1,12 @@
 // Command report summarises a cmd/figures output directory as Markdown:
 // per-benchmark endpoints, PWU-vs-PBUS speedups and tuning results.
+// With -bench-pool it instead renders the latest recorded streaming-pool
+// benchmark entries (BENCH_pool.json, written by `make bench-pool`).
 //
 // Usage:
 //
 //	report [-dir out] [-o results.md]
+//	report -bench-pool BENCH_pool.json
 package main
 
 import (
@@ -25,6 +28,7 @@ func main() {
 
 	dir := flag.String("dir", "out", "cmd/figures output directory")
 	out := flag.String("o", "", "write to file instead of stdout")
+	benchPool := flag.String("bench-pool", "", "render the latest entries of a bench-pool JSON trajectory instead")
 	flag.Parse()
 
 	w := os.Stdout
@@ -35,6 +39,12 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	if *benchPool != "" {
+		if err := report.BenchPool(*benchPool, w); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if err := report.Generate(*dir, w); err != nil {
 		fatal(err)

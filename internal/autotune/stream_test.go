@@ -44,3 +44,39 @@ func TestStreamMatchesInMemory(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamQuantWarm: the quantized kernel plus warm updates (with the
+// cross-scan cache active) drive the full pipeline to a sane outcome —
+// quantized scores may shift individual selections within float32
+// tolerance, so this checks the pipeline contract, not bit-equality
+// with the exact kernel.
+func TestStreamQuantWarm(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.PoolSize = 400
+	cfg.ModelBudget = 60
+	cfg.SearchBudget = 1500
+	cfg.Forest = forest.Config{NumTrees: 16}
+	cfg.Stream = true
+	cfg.Quant = true
+	cfg.WarmUpdate = true
+
+	got, err := Tune(context.Background(), p, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best == nil || got.BestMeasured <= 0 || got.RealRuns < cfg.ModelBudget {
+		t.Fatalf("quantized streamed tune produced an implausible outcome: %+v", got)
+	}
+	// Determinism holds within the quantized kernel.
+	again, err := Tune(context.Background(), p, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Best.Key() != got.Best.Key() || again.BestMeasured != got.BestMeasured {
+		t.Fatal("quantized streamed tune not deterministic under a fixed seed")
+	}
+}

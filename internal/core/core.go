@@ -322,6 +322,30 @@ type Params struct {
 	// and the in-memory Run ignores them.
 	StreamShard   int
 	StreamWorkers int
+
+	// Quant routes RunStream's pool scans through the model's quantized
+	// scoring kernel (forest.ScoreBatchQ: packed 8-byte float32 nodes,
+	// branchless 8-lane traversal — roughly 3× the exact kernel's
+	// per-candidate throughput). The model must support quantization
+	// (the default forest does; RunStream fails on the first scan
+	// otherwise). Scan scores then carry float32 leaf rounding, so
+	// selections may diverge from the exact kernel's within that
+	// tolerance — the quant-equivalence gate measures the divergence on
+	// the paper's spaces. Selection-time beliefs recorded for the label
+	// guard and Result.Selections still come from the exact model.
+	// The in-memory Run ignores Quant.
+	Quant bool
+
+	// StreamCacheMB bounds the cross-scan score cache (pool.ScanCache)
+	// active during warm-update streaming runs: per-candidate per-tree
+	// score panels are kept across iterations so each scan re-walks only
+	// the ensemble slots the preceding partial Update actually refreshed.
+	// 0 means a 256 MiB default, < 0 disables the cache; candidates
+	// beyond the budgeted prefix are re-scored from scratch each scan.
+	// Results are bit-identical with the cache on, off, or at any
+	// budget. Without WarmUpdate every iteration refits a fresh model,
+	// no slot survives, and the cache stays off.
+	StreamCacheMB int
 }
 
 // Normalized returns p with the engine's defaults applied. Callers that
@@ -546,6 +570,10 @@ type engine struct {
 	ss    StreamStrategy
 	taken []int
 
+	// cache reuses score panels across the streaming run's scans (nil
+	// when disabled; see Params.StreamCacheMB).
+	cache *pool.ScanCache
+
 	res       *Result
 	trainX    [][]float64
 	remaining []int
@@ -614,6 +642,9 @@ func (e *engine) init() {
 // remaining list — membership is the sorted taken set.
 func (e *engine) initStream() {
 	e.taken = make([]int, 0, e.p.NMax)
+	if e.p.WarmUpdate && e.p.StreamCacheMB >= 0 {
+		e.cache = pool.NewScanCache(int64(e.p.StreamCacheMB) << 20)
+	}
 	e.initCommon()
 }
 

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// TestStreamCacheEquivalence: the cross-scan score cache is a pure
+// performance device — a warm-update streamed run with the cache on (the
+// default), at a starvation budget, and fully off must be bit-identical,
+// on both the exact and the quantized kernel.
+func TestStreamCacheEquivalence(t *testing.T) {
+	sp, ev := quadSpace(t)
+	src := pool.NewUniform(sp, 51, 150)
+	run := func(cacheMB int, quant bool) *Result {
+		t.Helper()
+		p := streamParams()
+		p.WarmUpdate = true
+		p.Quant = quant
+		p.StreamCacheMB = cacheMB
+		p.StreamShard = 32
+		res, err := RunStream(context.Background(), src, ev, PWU{Alpha: 0.05}, p, rng.New(9), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, quant := range []bool{false, true} {
+		want := run(-1, quant) // cache disabled
+		assertSameResult(t, fmt.Sprintf("quant=%v default cache", quant), run(0, quant), want)
+		// A starvation budget covers only a prefix of the pool: the rest
+		// takes the fresh-score path every scan. Still bit-identical.
+		assertSameResult(t, fmt.Sprintf("quant=%v tiny cache", quant), run(1, quant), want)
+	}
+}
+
+// TestStreamQuantDeterministic: quantized streamed runs are deterministic
+// and invariant across shard sizes and worker counts, like exact ones —
+// only the kernel changed, not the selection contract.
+func TestStreamQuantDeterministic(t *testing.T) {
+	sp, ev := quadSpace(t)
+	src := pool.NewUniform(sp, 52, 130)
+	run := func(shard, workers int) *Result {
+		t.Helper()
+		p := streamParams()
+		p.Quant = true
+		p.StreamShard, p.StreamWorkers = shard, workers
+		res, err := RunStream(context.Background(), src, ev, PWU{Alpha: 0.05}, p, rng.New(11), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(0, 1)
+	if len(want.TrainY) != streamParams().NMax {
+		t.Fatalf("quant run collected %d labels, want %d", len(want.TrainY), streamParams().NMax)
+	}
+	assertSameResult(t, "shard=17 workers=2", run(17, 2), want)
+	assertSameResult(t, "shard=130 workers=4", run(130, 4), want)
+}
+
+// TestStreamQuantNeedsQuantizableModel: Params.Quant with a surrogate
+// that has no quantized view must fail with a clear error, not panic or
+// silently fall back to the exact kernel.
+func TestStreamQuantNeedsQuantizableModel(t *testing.T) {
+	sp, ev := quadSpace(t)
+	src := pool.NewUniform(sp, 53, 80)
+	p := streamParams()
+	p.Quant = true
+	p.Fitter = func(X [][]float64, y []float64, fs []space.Feature, r *rng.RNG) (Model, error) {
+		return meanModel{}, nil
+	}
+	_, err := RunStream(context.Background(), src, ev, PWU{Alpha: 0.05}, p, rng.New(13), nil)
+	if err == nil || !strings.Contains(err.Error(), "quantized") {
+		t.Fatalf("expected a quantized-scorer error, got %v", err)
+	}
+}
+
+// meanModel is a minimal Model with no quantized view.
+type meanModel struct{}
+
+func (meanModel) Predict(x []float64) float64 { return 0 }
+func (meanModel) PredictBatch(X [][]float64) (mu, sigma []float64) {
+	return make([]float64, len(X)), make([]float64, len(X))
+}
+func (meanModel) PredictWithUncertainty(x []float64) (mu, sigma float64) { return 0, 0 }

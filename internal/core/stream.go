@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/forest"
 	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/space"
@@ -38,6 +39,27 @@ func (e *engine) batchScorer() pool.BatchScorer {
 	return &streamScorer{m: e.model}
 }
 
+// quantizable is the quantized-view hook Params.Quant needs from the
+// model; *forest.Forest implements it.
+type quantizable interface {
+	Quantized() (*forest.QuantScorer, error)
+}
+
+// scanScorer returns the scorer the streamed pool scans run on: the
+// model's quantized view under Params.Quant (refreshing the compiled
+// quantized slots, so warm updates recompile only the trees they
+// replaced), the model itself otherwise.
+func (e *engine) scanScorer() (pool.BatchScorer, error) {
+	if !e.p.Quant {
+		return e.batchScorer(), nil
+	}
+	q, ok := e.model.(quantizable)
+	if !ok {
+		return nil, fmt.Errorf("core: Params.Quant needs a model with a quantized scorer, %T has none", e.model)
+	}
+	return q.Quantized()
+}
+
 // poolStream is the engine's PoolStream view: the source minus the taken
 // set, scored by the current model.
 type poolStream struct {
@@ -56,11 +78,21 @@ func (ps *poolStream) Rand() *rng.RNG { return ps.e.r }
 
 // Scan implements PoolStream.
 func (ps *poolStream) Scan(consume func(ord int, x []float64, mu, sigma float64)) error {
-	return pool.Scan(ps.e.src, ps.e.batchScorer(), pool.ScanConfig{
+	sc, err := ps.e.scanScorer()
+	if err != nil {
+		return err
+	}
+	cfg := pool.ScanConfig{
 		Shard:   ps.e.p.StreamShard,
 		Workers: ps.e.p.StreamWorkers,
 		Skip:    ps.e.taken,
-	}, consume)
+	}
+	// The cross-scan cache needs the per-slot scoring contract; the
+	// serialized fallback scorer for plain Models doesn't have it.
+	if _, ok := sc.(pool.SlotScorer); ok {
+		cfg.Cache = ps.e.cache
+	}
+	return pool.Scan(ps.e.src, sc, cfg, consume)
 }
 
 // RunStream executes Algorithm 1 over a lazily generated candidate pool.

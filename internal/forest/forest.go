@@ -100,6 +100,10 @@ type Forest struct {
 	// see PredictCached.
 	cache *poolCache
 	aux   []*poolCache
+
+	// qstate holds the opt-in quantized compilation of the ensemble;
+	// nil until EnableQuant. See quant.go.
+	qstate *quantState
 }
 
 // Fit trains a forest on (X, y) with the column description features.
@@ -289,37 +293,41 @@ func (f *Forest) finishMoments(mean, m2, leafVar float64) (mu, sigma float64) {
 	return mean, math.Sqrt(variance)
 }
 
+// finishSums converts plain moment sums (Σm, Σm², Σvar over the
+// ensemble) into (μ, σ). The quantized kernel accumulates these instead
+// of the Welford recurrence — three independent add chains per lane
+// instead of a serial dependency through the running mean — at the cost
+// of the cancellation in Σm²−(Σm)²/b, which is benign in float64 for
+// values already rounded through float32 leaves. Quantized scoring and
+// quantized cache re-aggregation share this one finisher, keeping them
+// bit-identical to each other.
+func (f *Forest) finishSums(s1, s2, leafVar float64) (mu, sigma float64) {
+	b := float64(len(f.trees))
+	mean := s1 / b
+	variance := s2/b - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	if f.cfg.Uncertainty == TotalVariance {
+		variance += leafVar / b
+	}
+	return mean, math.Sqrt(variance)
+}
+
 // PredictBatch predicts all rows of X in parallel, returning μ and σ
 // vectors. It is the hot path of Algorithm 1's scoring step and runs on
 // the compiled flat engine.
 //
-// Within each worker's row chunk the loop nest is tree-outer/row-inner:
-// one tree's flat arrays (tens of KB) stay cache-resident while the
-// whole chunk streams through them, instead of every row cycling the
-// full ensemble (MBs) through L1. Each row's Welford accumulator is
-// still updated in ascending tree order, so results stay bit-identical
+// Each worker's row chunk runs through the blocked ScoreBatch kernel
+// (tree-block × row-tile; see scorer.go). Each row's Welford accumulator
+// is still updated in ascending tree order, so results stay bit-identical
 // to PredictWithUncertainty.
 func (f *Forest) PredictBatch(X [][]float64) (mu, sigma []float64) {
 	n := len(X)
 	mu = make([]float64, n)
 	sigma = make([]float64, n)
 	f.parallelRows(n, func(lo, hi int) {
-		m := hi - lo
-		mean := make([]float64, m)
-		m2 := make([]float64, m)
-		leafVar := make([]float64, m)
-		for t, c := range f.compiled {
-			for j := 0; j < m; j++ {
-				pm, pv, _ := c.PredictStats(X[lo+j])
-				d := pm - mean[j]
-				mean[j] += d / float64(t+1)
-				m2[j] += d * (pm - mean[j])
-				leafVar[j] += pv
-			}
-		}
-		for j := 0; j < m; j++ {
-			mu[lo+j], sigma[lo+j] = f.finishMoments(mean[j], m2[j], leafVar[j])
-		}
+		f.ScoreBatch(X[lo:hi], mu[lo:hi], sigma[lo:hi])
 	})
 	return mu, sigma
 }
@@ -346,6 +354,15 @@ func (f *Forest) batch(X [][]float64, predict func([]float64) (float64, float64)
 
 // parallelRows splits [0, n) into one contiguous chunk per worker and
 // runs fn on each chunk concurrently.
+//
+// Chunk boundaries are rounded up to multiples of the blocked kernels'
+// rowTile, so only the final worker can receive a sub-tile remainder —
+// every other chunk runs whole tiles through the blocked fast path, and
+// the one ragged tail takes the kernels' scalar fallback. Without the
+// alignment, a ragged division (e.g. n = workers×tile + 1) hands *every*
+// worker a sub-tile remainder. Chunking remains a pure performance
+// partition: fn sees the same disjoint cover of [0, n) semantics for any
+// worker count.
 func (f *Forest) parallelRows(n int, fn func(lo, hi int)) {
 	workers := f.cfg.workers()
 	if workers > n {
@@ -357,8 +374,9 @@ func (f *Forest) parallelRows(n int, fn func(lo, hi int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
+	chunk = (chunk + rowTile - 1) / rowTile * rowTile
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		if lo >= n {

@@ -1,0 +1,331 @@
+package forest
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// quantForest fits a small forest on Friedman data and enables the
+// quantized slots.
+func quantForest(t *testing.T, n, trees int) (*Forest, [][]float64) {
+	t.Helper()
+	X, y := friedman(rng.New(71), n)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: trees}, rng.New(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EnableQuant(); err != nil {
+		t.Fatal(err)
+	}
+	return f, X
+}
+
+// closeTo: quantized scores carry float32 leaf rounding plus the
+// sum/sum-of-squares aggregation (vs the exact engine's Welford fold),
+// so they are compared to the exact engine within a relative tolerance,
+// not bit-identically.
+func closeTo(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-4*scale+1e-6
+}
+
+// TestScoreBatchQCloseToExact: the quantized kernel must track the exact
+// scorer within float32 tolerance for every batch size, covering ragged
+// 8-row groups (n % 8 != 0), ragged row tiles (n = rowTile±1) and
+// multi-tile batches.
+func TestScoreBatchQCloseToExact(t *testing.T) {
+	f, X := quantForest(t, 300, 24)
+	for _, n := range []int{1, 2, 7, 8, 9, 15, 16, rowTile - 1, rowTile, rowTile + 1, 300} {
+		rows := X[:n]
+		muE := make([]float64, n)
+		sgE := make([]float64, n)
+		f.ScoreBatch(rows, muE, sgE)
+		muQ := make([]float64, n)
+		sgQ := make([]float64, n)
+		f.ScoreBatchQ(rows, muQ, sgQ)
+		for i := 0; i < n; i++ {
+			if !closeTo(muQ[i], muE[i]) || !closeTo(sgQ[i], sgE[i]) {
+				t.Fatalf("n=%d row %d: quant (%v, %v), exact (%v, %v)",
+					n, i, muQ[i], sgQ[i], muE[i], sgE[i])
+			}
+		}
+	}
+}
+
+// TestScoreBatchQShardInvariant: like the exact scorer, the quantized
+// kernel accumulates per row in ascending tree order whatever the
+// batching, so sharded scans must reproduce the whole-batch scores bit
+// for bit — the determinism anchor that makes quantized streaming
+// selections independent of shard size.
+func TestScoreBatchQShardInvariant(t *testing.T) {
+	f, X := quantForest(t, 200, 16)
+	want := make([]float64, len(X))
+	wantS := make([]float64, len(X))
+	f.ScoreBatchQ(X, want, wantS)
+	for _, shard := range []int{1, 3, 8, 50, 127, len(X)} {
+		mu := make([]float64, shard)
+		sigma := make([]float64, shard)
+		for base := 0; base < len(X); base += shard {
+			end := base + shard
+			if end > len(X) {
+				end = len(X)
+			}
+			n := end - base
+			f.ScoreBatchQ(X[base:end], mu[:n], sigma[:n])
+			for i := 0; i < n; i++ {
+				if mu[i] != want[base+i] || sigma[i] != wantS[base+i] {
+					t.Fatalf("shard %d row %d: (%v, %v) vs whole-batch (%v, %v)",
+						shard, base+i, mu[i], sigma[i], want[base+i], wantS[base+i])
+				}
+			}
+		}
+	}
+}
+
+// TestScoreBatchQConcurrent: concurrent quantized scoring on one forest
+// must not interfere (run under -race).
+func TestScoreBatchQConcurrent(t *testing.T) {
+	f, X := quantForest(t, 150, 16)
+	want := make([]float64, len(X))
+	wantS := make([]float64, len(X))
+	f.ScoreBatchQ(X, want, wantS)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu := make([]float64, len(X))
+			sigma := make([]float64, len(X))
+			for rep := 0; rep < 20; rep++ {
+				f.ScoreBatchQ(X, mu, sigma)
+				for i := range X {
+					if mu[i] != want[i] || sigma[i] != wantS[i] {
+						errs <- "concurrent ScoreBatchQ diverged"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestScoreBatchQCategorical exercises the categorical lane of the
+// transposed kernel (leaf8CatT): a mixed numeric/categorical space must
+// stay within tolerance of the exact engine and shard-invariant.
+func TestScoreBatchQCategorical(t *testing.T) {
+	fs := []space.Feature{
+		{Name: "x", Kind: space.FeatNumeric},
+		{Name: "c", Kind: space.FeatCategorical, NumCategories: 6},
+		{Name: "z", Kind: space.FeatNumeric},
+	}
+	r := rng.New(73)
+	n := 250
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		c := r.Intn(6)
+		X[i] = []float64{r.Float64(), float64(c), r.Float64()}
+		y[i] = 3*X[i][0] + X[i][2]
+		if c%2 == 0 {
+			y[i] += 10
+		}
+	}
+	f, err := Fit(X, y, fs, Config{NumTrees: 24}, rng.New(74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EnableQuant(); err != nil {
+		t.Fatal(err)
+	}
+	muE := make([]float64, n)
+	sgE := make([]float64, n)
+	f.ScoreBatch(X, muE, sgE)
+	muQ := make([]float64, n)
+	sgQ := make([]float64, n)
+	f.ScoreBatchQ(X, muQ, sgQ)
+	for i := range X {
+		if !closeTo(muQ[i], muE[i]) || !closeTo(sgQ[i], sgE[i]) {
+			t.Fatalf("row %d: quant (%v, %v), exact (%v, %v)", i, muQ[i], sgQ[i], muE[i], sgE[i])
+		}
+	}
+	// Ragged shard must be bit-identical to the whole batch.
+	mu7 := make([]float64, 7)
+	sg7 := make([]float64, 7)
+	f.ScoreBatchQ(X[16:23], mu7, sg7)
+	for i := 0; i < 7; i++ {
+		if mu7[i] != muQ[16+i] || sg7[i] != sgQ[16+i] {
+			t.Fatalf("categorical shard row %d diverged from whole batch", i)
+		}
+	}
+}
+
+// TestScoreBatchQContracts: scoring without EnableQuant, or with slots
+// gone stale across an Update, must panic rather than silently serve old
+// trees.
+func TestScoreBatchQContracts(t *testing.T) {
+	X, y := friedman(rng.New(75), 120)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 8}, rng.New(76))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := make([]float64, 1)
+	sigma := make([]float64, 1)
+	mustPanic := func(name string) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f.ScoreBatchQ(X[:1], mu, sigma)
+	}
+	mustPanic("before EnableQuant")
+	if err := f.EnableQuant(); err != nil {
+		t.Fatal(err)
+	}
+	f.ScoreBatchQ(X[:1], mu, sigma) // fine now
+	if err := f.Update(X, y, rng.New(77)); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic("stale after Update")
+	if err := f.EnableQuant(); err != nil {
+		t.Fatal(err)
+	}
+	f.ScoreBatchQ(X[:1], mu, sigma) // recompiled, fine again
+}
+
+// TestEnableQuantRecompilesOnlyRefreshed: after a partial Update,
+// EnableQuant must recompile exactly the slots whose generation advanced
+// and keep the untouched slots' compiled trees (pointer identity).
+func TestEnableQuantRecompilesOnlyRefreshed(t *testing.T) {
+	X, y := friedman(rng.New(78), 140)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 16}, rng.New(79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EnableQuant(); err != nil {
+		t.Fatal(err)
+	}
+	old := make([]interface{}, len(f.qstate.compiled))
+	for i, c := range f.qstate.compiled {
+		old[i] = c
+	}
+	gensBefore := f.SlotGens()
+	if err := f.Update(X, y, rng.New(80)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EnableQuant(); err != nil {
+		t.Fatal(err)
+	}
+	gensAfter := f.SlotGens()
+	refreshed := 0
+	for i := range gensBefore {
+		changedGen := gensAfter[i] != gensBefore[i]
+		changedPtr := interface{}(f.qstate.compiled[i]) != old[i]
+		if changedGen != changedPtr {
+			t.Fatalf("slot %d: gen changed=%v but recompiled=%v", i, changedGen, changedPtr)
+		}
+		if changedGen {
+			refreshed++
+		}
+	}
+	if refreshed == 0 || refreshed == len(gensBefore) {
+		t.Fatalf("partial update refreshed %d/%d slots; expected a strict subset", refreshed, len(gensBefore))
+	}
+}
+
+// TestExactSlotsAggregateBitIdentical: Forest.ScoreSlots over all slots
+// followed by AggregateSlots must reproduce ScoreBatch bit for bit —
+// the contract the cross-scan cache's cached-panel path relies on.
+func TestExactSlotsAggregateBitIdentical(t *testing.T) {
+	X, y := friedman(rng.New(81), 100)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 12}, rng.New(82))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSlotsMatchBatch(t, f, f, X)
+}
+
+// TestQuantSlotsAggregateBitIdentical: the quantized slot-scorer view
+// must likewise reproduce fresh ScoreBatchQ bit for bit, including its
+// reciprocal-multiply Welford fold.
+func TestQuantSlotsAggregateBitIdentical(t *testing.T) {
+	f, X := quantForest(t, 100, 12)
+	qs, err := f.Quantized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSlotsMatchBatch(t, qs, qs, X)
+}
+
+type slotScorer interface {
+	NumSlots() int
+	ScoreSlots(X [][]float64, slots []int, mean, lvar [][]float64)
+	AggregateSlots(mean, lvar [][]float64, mu, sigma []float64)
+}
+
+type batchScorer interface {
+	ScoreBatch(X [][]float64, mu, sigma []float64)
+}
+
+func checkSlotsMatchBatch(t *testing.T, ss slotScorer, bs batchScorer, X [][]float64) {
+	t.Helper()
+	n := len(X)
+	b := ss.NumSlots()
+	want := make([]float64, n)
+	wantS := make([]float64, n)
+	bs.ScoreBatch(X, want, wantS)
+	mean := make([][]float64, n)
+	lvar := make([][]float64, n)
+	for i := range mean {
+		mean[i] = make([]float64, b)
+		lvar[i] = make([]float64, b)
+	}
+	// Score the slots in two arbitrary chunks to prove partial rescoring
+	// composes.
+	slots := make([]int, b)
+	for t := range slots {
+		slots[t] = t
+	}
+	ss.ScoreSlots(X, slots[:b/2], mean, lvar)
+	ss.ScoreSlots(X, slots[b/2:], mean, lvar)
+	mu := make([]float64, n)
+	sigma := make([]float64, n)
+	ss.AggregateSlots(mean, lvar, mu, sigma)
+	for i := 0; i < n; i++ {
+		if mu[i] != want[i] || sigma[i] != wantS[i] {
+			t.Fatalf("row %d: slots+aggregate (%v, %v) vs batch (%v, %v)",
+				i, mu[i], sigma[i], want[i], wantS[i])
+		}
+	}
+}
+
+// TestPredictBatchRaggedChunks: parallelRows rounds worker chunks up to
+// whole row tiles; batch sizes straddling the tile boundary must still
+// match per-row prediction exactly.
+func TestPredictBatchRaggedChunks(t *testing.T) {
+	X, y := friedman(rng.New(83), 2*rowTile+1)
+	f, err := Fit(X, y, numFeatures(7), Config{NumTrees: 8, Workers: 4}, rng.New(84))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{rowTile - 1, rowTile, rowTile + 1, 2*rowTile - 1, 2*rowTile + 1} {
+		mu, sigma := f.PredictBatch(X[:n])
+		for i := 0; i < n; i++ {
+			wm, ws := f.PredictWithUncertainty(X[i])
+			if mu[i] != wm || sigma[i] != ws {
+				t.Fatalf("n=%d row %d: PredictBatch (%v, %v), single (%v, %v)", n, i, mu[i], sigma[i], wm, ws)
+			}
+		}
+	}
+}

@@ -2,30 +2,46 @@ package forest
 
 import "sync"
 
-// scoreScratch recycles ScoreBatch's per-call accumulator block (three
-// float64s per row) across calls and goroutines, so a streaming scan's
+// Blocked scoring kernels. Both batch scorers — the exact float64
+// ScoreBatch and the quantized ScoreBatchQ — run the same
+// (tree-block × row-tile) loop nest:
+//
+//	for each tree block (node arrays totalling <= treeBlockBytes, ~L2)
+//	    for each row tile (rowTile rows: x rows + accumulator panel, ~L1)
+//	        for each tree of the block, in ascending ensemble order
+//	            walk the tile's rows through the tree
+//
+// One block's node arrays stay L2-resident while every tile streams
+// through them, and one tile's feature rows and Welford panel stay
+// L1-resident while the block's trees revisit them — instead of the
+// whole ensemble cycling through cache once per shard. Each row's
+// Welford accumulation still happens in ascending tree order (blocks
+// partition the ensemble in order, and every row visits the blocks in
+// order), so the exact kernel stays bit-identical to
+// PredictWithUncertainty no matter how the blocking divides the work.
+
+// rowTile is the blocking tile: enough rows to amortize a tree's node
+// array walking over a hot panel, small enough that the tile's rows
+// (rowTile × d float64/float32) and its 3×rowTile float64 accumulator
+// panel fit comfortably in L1 alongside the current node path.
+const rowTile = 128
+
+// treeBlockBytes is the L2 budget one tree block's node arrays must fit
+// in. Paper-scale ensembles (64 trees on a few hundred training rows)
+// fit a single block on any recent core — the kernels then skip the row
+// tiling entirely, since there is no second block pass to keep panels
+// resident for — and blocking engages only for ensembles that genuinely
+// overflow L2.
+const treeBlockBytes = 1 << 20
+
+// scoreScratch recycles the per-call accumulator block (three float64s
+// per row) across calls and goroutines, so a streaming scan's
 // steady-state allocation is zero no matter how many shards it scores.
 var scoreScratch = sync.Pool{New: func() interface{} { s := []float64(nil); return &s }}
 
-// ScoreBatch scores every row of X into the caller-provided mu/sigma
-// buffers. It is the forest's implementation of the streaming pool
-// scorer contract (internal/pool.BatchScorer): safe for concurrent calls
-// (it only reads the fitted ensemble and uses pooled scratch) and
-// bit-identical per row to PredictBatch and PredictWithUncertainty,
-// because each row's Welford accumulation runs serially in ascending
-// tree order no matter how the rows are batched or sharded.
-//
-// The loop nest is tree-outer/row-inner like PredictBatch's worker chunks:
-// one compiled tree's flat arrays stay cache-resident while the whole
-// shard streams through them. The accumulator scratch is O(len X) —
-// three float64s per row, recycled through a pool — which keeps a
-// streaming scan's footprint at shard scale.
-func (f *Forest) ScoreBatch(X [][]float64, mu, sigma []float64) {
-	n := len(X)
-	if n == 0 {
-		return
-	}
-	sp := scoreScratch.Get().(*[]float64)
+// accPanels checks out a zeroed 3n-float64 accumulator block.
+func accPanels(n int) (sp *[]float64, mean, m2, leafVar []float64) {
+	sp = scoreScratch.Get().(*[]float64)
 	if cap(*sp) < 3*n {
 		*sp = make([]float64, 3*n)
 	}
@@ -33,18 +49,131 @@ func (f *Forest) ScoreBatch(X [][]float64, mu, sigma []float64) {
 	for i := range s {
 		s[i] = 0
 	}
-	mean, m2, leafVar := s[:n], s[n:2*n], s[2*n:3*n]
-	for t, c := range f.compiled {
-		for j := 0; j < n; j++ {
-			pm, pv, _ := c.PredictStats(X[j])
-			d := pm - mean[j]
-			mean[j] += d / float64(t+1)
-			m2[j] += d * (pm - mean[j])
-			leafVar[j] += pv
+	return sp, s[:n], s[n : 2*n], s[2*n : 3*n]
+}
+
+// treeBlocks partitions ensemble slots [0, b) into contiguous runs whose
+// summed node-array bytes stay within treeBlockBytes (every block holds
+// at least one tree). bytesOf reports slot t's node-array footprint.
+func treeBlocks(b int, bytesOf func(t int) int) [][2]int {
+	var blocks [][2]int
+	lo, sz := 0, 0
+	for t := 0; t < b; t++ {
+		n := bytesOf(t)
+		if t > lo && sz+n > treeBlockBytes {
+			blocks = append(blocks, [2]int{lo, t})
+			lo, sz = t, 0
+		}
+		sz += n
+	}
+	if lo < b {
+		blocks = append(blocks, [2]int{lo, b})
+	}
+	return blocks
+}
+
+// ScoreBatch scores every row of X into the caller-provided mu/sigma
+// buffers. It is the forest's implementation of the streaming pool
+// scorer contract (internal/pool.BatchScorer): safe for concurrent calls
+// (it only reads the fitted ensemble and uses pooled scratch) and
+// bit-identical per row to PredictBatch and PredictWithUncertainty,
+// because each row's Welford accumulation runs serially in ascending
+// tree order no matter how the rows are batched, sharded or blocked.
+func (f *Forest) ScoreBatch(X [][]float64, mu, sigma []float64) {
+	n := len(X)
+	if n == 0 {
+		return
+	}
+	sp, mean, m2, leafVar := accPanels(n)
+	blocks := treeBlocks(len(f.compiled), func(t int) int {
+		// flatNode is 16 bytes and the variance array adds 8 per node.
+		return 24 * f.compiled[t].NumNodes()
+	})
+	tile := rowTile
+	if len(blocks) == 1 {
+		// One resident block means no second pass over the accumulator
+		// panels; the scalar walk is latency-bound, not bandwidth-bound,
+		// so tiling would only add loop overhead here. (The transposed
+		// quantized kernel keeps its tile even then — its eight
+		// concurrent walks are fast enough that L1 residence of the key
+		// tile is what feeds them; see ScoreBatchQ.)
+		tile = n
+	}
+	for _, blk := range blocks {
+		for lo := 0; lo < n; lo += tile {
+			hi := lo + tile
+			if hi > n {
+				hi = n
+			}
+			for t := blk[0]; t < blk[1]; t++ {
+				c := f.compiled[t]
+				bt := float64(t + 1)
+				for j := lo; j < hi; j++ {
+					pm, pv, _ := c.PredictStats(X[j])
+					d := pm - mean[j]
+					mean[j] += d / bt
+					m2[j] += d * (pm - mean[j])
+					leafVar[j] += pv
+				}
+			}
 		}
 	}
 	for j := 0; j < n; j++ {
 		mu[j], sigma[j] = f.finishMoments(mean[j], m2[j], leafVar[j])
 	}
 	scoreScratch.Put(sp)
+}
+
+// NumSlots returns the ensemble size; part of the slot-scorer contract
+// the cross-scan cache (internal/pool.ScanCache) keys its panels by.
+func (f *Forest) NumSlots() int { return len(f.compiled) }
+
+// ScorerIdentity keys cached cross-scan panels: a warm Update keeps the
+// forest (its slot generations record what changed), while a fresh Fit
+// returns a new forest — whose generation counters restart at zero — and
+// therefore a new identity, forcing a cache cold start.
+func (f *Forest) ScorerIdentity() interface{} { return f }
+
+// SlotGens returns a copy of the per-slot generation counters: a slot's
+// counter advances exactly when Update replaces its tree, so equality of
+// two SlotGens snapshots proves the slot's predictions are unchanged.
+func (f *Forest) SlotGens() []uint64 {
+	return append([]uint64(nil), f.treeGen...)
+}
+
+// ScoreSlots writes the per-tree leaf mean and within-leaf variance of
+// every row into the given panel rows (mean[i][t], lvar[i][t]) for only
+// the requested ensemble slots, leaving other slots' columns untouched.
+// It is the cross-scan cache's partial-rescore entry: after a warm
+// Update refreshed k of b trees, only those k slots are re-walked. Safe
+// for concurrent calls on disjoint panel rows.
+func (f *Forest) ScoreSlots(X [][]float64, slots []int, mean, lvar [][]float64) {
+	for _, t := range slots {
+		c := f.compiled[t]
+		for i, x := range X {
+			pm, pv, _ := c.PredictStats(x)
+			mean[i][t] = pm
+			lvar[i][t] = pv
+		}
+	}
+}
+
+// AggregateSlots folds full per-tree panels into (μ, σ) per row, with
+// the same ascending-slot Welford accumulation as ScoreBatch — given
+// panels produced by ScoreSlots over all slots, the results are
+// bit-identical to ScoreBatch on the same rows.
+func (f *Forest) AggregateSlots(mean, lvar [][]float64, mu, sigma []float64) {
+	b := len(f.compiled)
+	for i := range mean {
+		var m, m2, lv float64
+		mrow, vrow := mean[i], lvar[i]
+		for t := 0; t < b; t++ {
+			pm := mrow[t]
+			d := pm - m
+			m += d / float64(t+1)
+			m2 += d * (pm - m)
+			lv += vrow[t]
+		}
+		mu[i], sigma[i] = f.finishMoments(m, m2, lv)
+	}
 }

@@ -40,6 +40,14 @@ type ScanConfig struct {
 	// the candidate indices the in-memory engine's `remaining` view would
 	// have used.
 	Skip []int
+
+	// Cache, when non-nil, reuses per-slot score panels across scans
+	// (see ScanCache): candidates inside the cache's covered prefix
+	// re-walk only the ensemble slots whose generation changed since
+	// the last completed scan. Requires a scorer implementing
+	// SlotScorer; results are bit-identical to a cache-less scan by the
+	// SlotScorer contract.
+	Cache *ScanCache
 }
 
 // shardBuf carries one shard of generated configurations from the driver
@@ -90,6 +98,14 @@ func Scan(src Source, sc BatchScorer, cfg ScanConfig, consume func(ord int, x []
 	if len(skip) > 0 && (skip[0] < 0 || skip[len(skip)-1] >= src.Len()) {
 		return fmt.Errorf("pool: ScanConfig.Skip index out of range [0, %d)", src.Len())
 	}
+	var plan *scanPlan
+	if cfg.Cache != nil {
+		ss, ok := sc.(SlotScorer)
+		if !ok {
+			return fmt.Errorf("pool: ScanConfig.Cache requires a SlotScorer, got %T", sc)
+		}
+		plan = cfg.Cache.begin(ss, src.Len())
+	}
 
 	newBuf := func() *shardBuf {
 		b := &shardBuf{configs: make([]space.Config, shard)}
@@ -117,8 +133,14 @@ func Scan(src Source, sc BatchScorer, cfg ScanConfig, consume func(ord int, x []
 				rows[i] = flat[i*d : (i+1)*d : (i+1)*d]
 			}
 			ords := make([]int, shard)
+			globals := make([]int, shard)
 			mus := make([]float64, shard)
 			sigmas := make([]float64, shard)
+			var mrows, vrows [][]float64
+			if plan != nil {
+				mrows = make([][]float64, shard)
+				vrows = make([][]float64, shard)
+			}
 			for buf := range tasks {
 				// si indexes the first skip entry not yet passed; for a
 				// kept global g, si equals the count of skipped globals
@@ -133,10 +155,11 @@ func Scan(src Source, sc BatchScorer, cfg ScanConfig, consume func(ord int, x []
 					}
 					sp.EncodeInto(buf.configs[i], rows[kept])
 					ords[kept] = g - si
+					globals[kept] = g
 					kept++
 				}
 				if kept > 0 {
-					sc.ScoreBatch(rows[:kept], mus[:kept], sigmas[:kept])
+					scoreShard(sc, plan, globals[:kept], rows[:kept], mus[:kept], sigmas[:kept], mrows, vrows)
 					mu.Lock()
 					for j := 0; j < kept; j++ {
 						consume(ords[j], rows[j], mus[j], sigmas[j])
@@ -165,5 +188,36 @@ func Scan(src Source, sc BatchScorer, cfg ScanConfig, consume func(ord int, x []
 	if global != src.Len() {
 		return fmt.Errorf("pool: source produced %d candidates, Len() promised %d", global, src.Len())
 	}
+	if plan != nil {
+		plan.commit()
+	}
 	return nil
+}
+
+// scoreShard scores one shard's kept rows into mus/sigmas, routing rows
+// inside the cache plan's covered prefix through the panel path:
+// re-walk only the stale slots, re-aggregate the rest from the cached
+// panels. Globals ascend within a shard, so the covered rows form a
+// prefix of the kept rows; each global row belongs to exactly one shard,
+// so concurrent workers write disjoint panel rows.
+func scoreShard(sc BatchScorer, plan *scanPlan, globals []int, rows [][]float64, mus, sigmas []float64, mrows, vrows [][]float64) {
+	ck := 0
+	if plan != nil {
+		for ck < len(globals) && globals[ck] < plan.rows {
+			ck++
+		}
+	}
+	if ck > 0 {
+		for j := 0; j < ck; j++ {
+			mrows[j] = plan.cache.mean[globals[j]]
+			vrows[j] = plan.cache.lvar[globals[j]]
+		}
+		if len(plan.stale) > 0 {
+			plan.sc.ScoreSlots(rows[:ck], plan.stale, mrows[:ck], vrows[:ck])
+		}
+		plan.sc.AggregateSlots(mrows[:ck], vrows[:ck], mus[:ck], sigmas[:ck])
+	}
+	if len(rows) > ck {
+		sc.ScoreBatch(rows[ck:], mus[ck:], sigmas[ck:])
+	}
 }

@@ -4,20 +4,39 @@
 // (default 200k; set POOL_BENCH_N=10000000 for the 10^7-config
 // demonstration) with a paper-scale 64-tree forest and reduces the PWU
 // scores into a bounded top-k heap — the exact hot path of
-// core.RunStream's selection step. The pool is never materialized: peak
-// memory is O(workers x shard) regardless of POOL_BENCH_N, which
-// -benchmem makes visible (B/op stays flat as the pool grows).
+// core.RunStream's selection step. BenchmarkPoolStreamPWUQuant runs the
+// same pipeline on the forest's quantized kernel (packed 8-byte nodes,
+// branchless 8-lane traversal), the -quant path of cmd/tune. The pool is
+// never materialized: peak memory is O(workers x shard) regardless of
+// POOL_BENCH_N, which -benchmem makes visible (B/op stays flat as the
+// pool grows).
 //
 // The reported ns/candidate metric is the honest per-candidate cost of
 // generate + encode + 64-tree score + heap push on this machine; total
 // pool scoring time is pool_size x ns/candidate (embarrassingly parallel
 // across cores, so it divides by the worker count on real hardware).
+//
+// Environment hooks, wired up by the Makefile:
+//
+//	BENCH_POOL_JSON=path    append a machine-readable result entry
+//	                        (see benchPoolEntry) to the JSON array at
+//	                        path — the benchmark trajectory BENCH_pool.json.
+//	POOL_BENCH_BASELINE=path  regression guard: fail the benchmark if
+//	                        per-core ns/candidate (ns × workers) exceeds
+//	                        twice the most recent recorded entry for the
+//	                        same kernel (the 2× margin tolerates
+//	                        CI-runner noise).
 package repro_test
 
 import (
+	"encoding/json"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -39,7 +58,98 @@ func poolBenchN(b *testing.B) int {
 	return 200_000
 }
 
-func BenchmarkPoolStreamPWU(b *testing.B) {
+// benchPoolEntry is one recorded bench-pool measurement — the schema of
+// BENCH_pool.json (an array, newest entry last).
+type benchPoolEntry struct {
+	Bench          string  `json:"bench"`
+	Kernel         string  `json:"kernel"` // "exact" | "quant"
+	NsPerCandidate float64 `json:"ns_per_candidate"`
+	BPerOp         int64   `json:"b_per_op"`
+	PoolSize       int     `json:"pool_size"`
+	Shard          int     `json:"shard"`
+	Workers        int     `json:"workers"`
+	GitSHA         string  `json:"git_sha"`
+	Timestamp      string  `json:"timestamp"`
+}
+
+// gitSHA best-efforts the current commit for the JSON record, with a
+// "+dirty" marker when the working tree differs from it.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	sha := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		sha += "+dirty"
+	}
+	return sha
+}
+
+// benchEntryIdx tracks, per kernel, the BENCH_POOL_JSON index this
+// process already wrote: the bench harness re-invokes each benchmark
+// with growing b.N until -benchtime is satisfied, and only the final
+// (longest, most accurate) invocation should survive as the run's
+// recorded entry.
+var benchEntryIdx = map[string]int{}
+
+// recordPoolBench appends the entry to $BENCH_POOL_JSON (if set) and
+// enforces the $POOL_BENCH_BASELINE regression guard (if set).
+func recordPoolBench(b *testing.B, e benchPoolEntry) {
+	if path := os.Getenv("BENCH_POOL_JSON"); path != "" {
+		var entries []benchPoolEntry
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &entries); err != nil {
+				b.Fatalf("BENCH_POOL_JSON %s: existing file is not a bench entry array: %v", path, err)
+			}
+		}
+		if idx, ok := benchEntryIdx[e.Kernel]; ok && idx < len(entries) {
+			entries[idx] = e
+		} else {
+			benchEntryIdx[e.Kernel] = len(entries)
+			entries = append(entries, e)
+		}
+		data, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatalf("BENCH_POOL_JSON: %v", err)
+		}
+	}
+	if path := os.Getenv("POOL_BENCH_BASELINE"); path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			b.Fatalf("POOL_BENCH_BASELINE: %v", err)
+		}
+		var entries []benchPoolEntry
+		if err := json.Unmarshal(data, &entries); err != nil {
+			b.Fatalf("POOL_BENCH_BASELINE %s: %v", path, err)
+		}
+		// The guard compares *per-core* ns/candidate (ns × workers): the
+		// scan parallelizes near-linearly, so wall-clock ns/candidate
+		// scales with the worker count and a baseline recorded on an
+		// n-core box would trip on any smaller runner. Per-core cost is
+		// the machine-portable number; the 2x margin absorbs the
+		// remaining per-core speed difference between recorder and
+		// runner.
+		perCore := e.NsPerCandidate * float64(e.Workers)
+		baseline := 0.0
+		for _, base := range entries { // newest matching entry wins
+			if base.Kernel == e.Kernel {
+				baseline = base.NsPerCandidate * float64(base.Workers)
+			}
+		}
+		if baseline > 0 && perCore > 2*baseline {
+			b.Fatalf("pool scoring regression: %.0f per-core ns/candidate on the %s kernel, recorded baseline %.0f (limit 2x)",
+				perCore, e.Kernel, baseline)
+		}
+	}
+}
+
+// poolBenchForest fits the paper-scale 64-tree surrogate the pipeline
+// scores with.
+func poolBenchForest(b *testing.B) (bench.Problem, *forest.Forest) {
 	p, err := bench.ByName("atax")
 	if err != nil {
 		b.Fatal(err)
@@ -56,14 +166,23 @@ func BenchmarkPoolStreamPWU(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return p, f
+}
 
+// poolBenchLoop drives the generate -> encode -> score -> top-k pipeline
+// with the given scorer and records the result under the kernel name.
+func poolBenchLoop(b *testing.B, p bench.Problem, sc pool.BatchScorer, kernel string) {
+	sp := p.Space()
 	n := poolBenchN(b)
 	strat := core.PWU{Alpha: 0.05}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := pool.NewUniform(sp, 7, n)
 		top := pool.NewTopKDistinct(16)
-		err := pool.Scan(src, f, pool.ScanConfig{}, func(ord int, x []float64, mu, sigma float64) {
+		err := pool.Scan(src, sc, pool.ScanConfig{}, func(ord int, x []float64, mu, sigma float64) {
 			top.Push(ord, strat.Score(mu, sigma), x)
 		})
 		if err != nil {
@@ -74,7 +193,33 @@ func BenchmarkPoolStreamPWU(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
 	perCand := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(n)
 	b.ReportMetric(perCand, "ns/candidate")
 	b.ReportMetric(float64(n), "pool_size")
+	recordPoolBench(b, benchPoolEntry{
+		Bench:          "PoolStreamPWU",
+		Kernel:         kernel,
+		NsPerCandidate: perCand,
+		BPerOp:         int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(b.N),
+		PoolSize:       n,
+		Shard:          1024, // pool.ScanConfig default
+		Workers:        runtime.GOMAXPROCS(0),
+		GitSHA:         gitSHA(),
+		Timestamp:      time.Now().UTC().Format(time.RFC3339),
+	})
+}
+
+func BenchmarkPoolStreamPWU(b *testing.B) {
+	p, f := poolBenchForest(b)
+	poolBenchLoop(b, p, f, "exact")
+}
+
+func BenchmarkPoolStreamPWUQuant(b *testing.B) {
+	p, f := poolBenchForest(b)
+	qs, err := f.Quantized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	poolBenchLoop(b, p, qs, "quant")
 }

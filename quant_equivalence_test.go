@@ -1,0 +1,127 @@
+// quant-equivalence: the gate behind `make quant-equivalence`.
+//
+// The quantized kernel is approximate by construction (float32 leaf
+// statistics, sum-based aggregation), so unlike the pool-equivalence
+// gate it cannot demand bit identity. What it pins down instead, on the
+// paper's own tuning spaces (a SPAPT kernel, Kripke and Hypre):
+//
+//  1. Routing equivalence in practice: every candidate's quantized
+//     (μ, σ) tracks the exact scorer within the float32 tolerance the
+//     tree layer documents (internal/tree/quant.go). The spaces' level
+//     grids are small integers — exactly representable in float32 — so
+//     the monotone threshold rounding routes every candidate to the
+//     same leaves and the only divergence left is leaf-value rounding.
+//  2. Selection equivalence: the streamed top-k under PWU picks the
+//     same candidates in the same order through either kernel. This is
+//     the property tuning runs actually consume — -quant must not
+//     change which configurations get measured.
+//
+// Both checks are deterministic (fixed seeds, sequential scan), so a
+// failure is always a code change, never noise.
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/pool"
+	"repro/internal/rng"
+)
+
+// quantEquivTopK scans an n-candidate uniform pool through the given
+// scorer and returns the PWU top-k selection plus the full μ/σ stream
+// keyed by ordinal.
+func quantEquivTopK(t *testing.T, p bench.Problem, sc pool.BatchScorer, n, k int) ([]int, map[int][2]float64) {
+	t.Helper()
+	strat := core.PWU{Alpha: 0.05}
+	top := pool.NewTopKDistinct(k)
+	scores := make(map[int][2]float64, n)
+	src := pool.NewUniform(p.Space(), 7, n)
+	err := pool.Scan(src, sc, pool.ScanConfig{Workers: 1}, func(ord int, x []float64, mu, sigma float64) {
+		scores[ord] = [2]float64{mu, sigma}
+		top.Push(ord, strat.Score(mu, sigma), x)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top.Result(), scores
+}
+
+// TestQuantTopKMatchesExact is the quant-equivalence gate; see the file
+// comment for what it proves.
+func TestQuantTopKMatchesExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence gate")
+	}
+	const (
+		poolN = 20_000
+		topK  = 16
+	)
+	for _, name := range []string{"atax", "kripke", "hypre"} {
+		t.Run(name, func(t *testing.T) {
+			p, err := bench.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := p.Space()
+			r := rng.New(42)
+			train := sp.SampleConfigs(r, 200)
+			X := sp.EncodeAll(train)
+			y := make([]float64, len(train))
+			for i, c := range train {
+				y[i] = p.TrueTime(c)
+			}
+			f, err := forest.Fit(X, y, sp.Features(), forest.Config{NumTrees: 64}, r.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs, err := f.Quantized()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			selE, scoresE := quantEquivTopK(t, p, f, poolN, topK)
+			selQ, scoresQ := quantEquivTopK(t, p, qs, poolN, topK)
+
+			// Per-candidate closeness over the whole pool. μ is compared
+			// at its own scale. σ's bound carries a μ-scale term: float32
+			// rounding perturbs every tree's leaf mean by up to ~εf32·|μ|,
+			// and the ensemble spread absorbs those perturbations, so on
+			// spaces where predictions are large and nearly flat (Kripke:
+			// μ ≈ 10³, σ ≈ 10⁻²) σ's absolute divergence is set by μ's
+			// magnitude, however small σ itself is.
+			worstMu, worstSg := 0.0, 0.0
+			for ord, e := range scoresE {
+				q := scoresQ[ord]
+				muScale := math.Max(math.Abs(e[0]), math.Abs(q[0]))
+				if d := math.Abs(q[0] - e[0]); d > 1e-4*muScale+1e-6 {
+					t.Fatalf("candidate %d: quant μ=%v vs exact μ=%v", ord, q[0], e[0])
+				} else if muScale > 0 {
+					worstMu = math.Max(worstMu, d/muScale)
+				}
+				if d := math.Abs(q[1] - e[1]); d > 1e-4*math.Abs(e[1])+1e-6*muScale+1e-6 {
+					t.Fatalf("candidate %d: quant σ=%v vs exact σ=%v (μ scale %v)",
+						ord, q[1], e[1], muScale)
+				} else if muScale > 0 {
+					worstSg = math.Max(worstSg, d/muScale)
+				}
+			}
+			t.Logf("%s: worst divergence over %d candidates: μ %.2e (rel), σ %.2e (of μ scale)",
+				name, poolN, worstMu, worstSg)
+
+			// Selection equivalence: same candidates, same order.
+			if len(selQ) != len(selE) {
+				t.Fatalf("top-k size: quant %d, exact %d", len(selQ), len(selE))
+			}
+			for i := range selE {
+				if selQ[i] != selE[i] {
+					t.Fatalf("top-k rank %d: quant picked ordinal %d, exact %d",
+						i, selQ[i], selE[i])
+				}
+			}
+		})
+	}
+}
