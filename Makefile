@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence bench bench-train bench-campaign bench-pool bench-pool-smoke figures figures-paper report examples clean
+.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence session-equivalence soak-server bench bench-train bench-campaign bench-pool bench-pool-smoke figures figures-paper report examples clean
 
 all: build check
 
@@ -9,11 +9,12 @@ build:
 
 # check is the pre-commit gate: static analysis, the full test suite
 # under the race detector (the forest/experiment layers are heavily
-# concurrent), the five equivalence gates (training engine, resume,
-# campaign engine, streaming pool, quantized scoring), the chaos gates
-# (fault-injection equivalence and the mixed-fault race soak), and a
-# smoke-sized run of the streaming-pool benchmark.
-check: vet race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence bench-pool-smoke
+# concurrent), the six equivalence gates (training engine, resume,
+# campaign engine, streaming pool, quantized scoring, ask-tell
+# sessions), the chaos gates (fault-injection equivalence and the
+# mixed-fault race soak), the server soak, and a smoke-sized run of the
+# streaming-pool benchmark.
+check: vet race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence session-equivalence soak-server bench-pool-smoke
 
 # train-equivalence gates the presorted-column training engine: the
 # builder-equivalence property tests (presorted vs reference builder must
@@ -76,6 +77,27 @@ pool-equivalence:
 # the kernel's shard-invariance, cache-bit-identity and race checks.
 quant-equivalence:
 	go test -race -run 'TestQuantTopKMatchesExact|TestQuant|TestScoreBatchQ|TestEnableQuant|TestStreamQuant|TestStreamCacheEquivalence' . ./internal/tree ./internal/forest ./internal/core
+
+# session-equivalence gates the ask-tell session refactor: the drivers
+# (Run/Resume/RunStream/ResumeStream) are thin loops over core.Session,
+# and every strategy's trajectory — materialized and streamed, resumed
+# from every checkpoint prefix — must stay bit-identical to the
+# pre-refactor goldens pinned in testdata/session_golden.json. The
+# daemon half kills a tuned process mid-batch over HTTP, restarts it,
+# and requires the recovered session's curve to equal an undisturbed
+# daemon's, plus the snapshot version-tolerance contract.
+session-equivalence:
+	go test -race -run 'TestSessionEquivalenceGolden|TestSessionResumeEveryPrefix|TestSnapshotVersionTolerance|TestSession' ./internal/core
+	go test -race -run 'TestDaemonKillRecoverEquivalence' ./cmd/tuned
+
+# soak-server floods one tuned session manager with >1000 concurrent
+# ask-tell sessions under the race detector — mixed run-to-completion,
+# retransmit-every-tell, abandon-mid-batch and delete behaviors — then
+# crash-recovers the survivors from their checkpoints with a second
+# manager and checks for goroutine leaks. SOAK_SESSIONS overrides the
+# scale.
+soak-server:
+	go test -race -run 'TestSoakConcurrentSessions|TestServer' ./internal/server
 
 vet:
 	go vet ./...

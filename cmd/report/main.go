@@ -2,11 +2,14 @@
 // per-benchmark endpoints, PWU-vs-PBUS speedups and tuning results.
 // With -bench-pool it instead renders the latest recorded streaming-pool
 // benchmark entries (BENCH_pool.json, written by `make bench-pool`).
+// With -service it renders a tuned daemon's /stats dump as a Service
+// section (`curl host:8080/stats > stats.json; report -service stats.json`).
 //
 // Usage:
 //
 //	report [-dir out] [-o results.md]
 //	report -bench-pool BENCH_pool.json
+//	report -service stats.json
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 	dir := flag.String("dir", "out", "cmd/figures output directory")
 	out := flag.String("o", "", "write to file instead of stdout")
 	benchPool := flag.String("bench-pool", "", "render the latest entries of a bench-pool JSON trajectory instead")
+	service := flag.String("service", "", "render a tuned daemon /stats dump instead")
 	flag.Parse()
 
 	w := os.Stdout
@@ -42,6 +46,12 @@ func main() {
 	}
 	if *benchPool != "" {
 		if err := report.BenchPool(*benchPool, w); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *service != "" {
+		if err := report.Service(*service, w); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,132 @@
+// Command tuned is the tuning-as-a-service daemon: it serves the
+// internal/server session API over HTTP, multiplexing many concurrent
+// ask-tell tuning sessions whose evaluations run on the clients' own
+// machines. The daemon owns the surrogates, acquisition and checkpoint
+// state; a client owns nothing but its measurement loop.
+//
+// Usage:
+//
+//	tuned -addr :8080 -dir /var/lib/tuned [-max-sessions 1024]
+//	      [-max-per-tenant 64] [-every 1] [-trees 32]
+//
+// On startup the daemon adopts every readable checkpoint in -dir, so a
+// crashed or upgraded daemon resumes its whole fleet: a session's next
+// ask re-derives the batch that died with the old process from the
+// restored generator state, and the idempotent tell protocol absorbs
+// any client retransmissions from across the restart.
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish, every
+// boundary-clean session is checkpointed, and the process exits 0. A
+// second signal aborts the drain and exits 130.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "checkpoint directory (empty disables persistence and recovery)")
+	maxSessions := flag.Int("max-sessions", 0, "global live-session cap (0 = default 1024)")
+	maxPerTenant := flag.Int("max-per-tenant", 0, "per-tenant live-session cap (0 = default 64)")
+	every := flag.Int("every", 1, "checkpoint cadence in iterations")
+	trees := flag.Int("trees", 0, "default surrogate forest size (0 = default 32)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "tuned: ", log.LstdFlags)
+	if err := run(*addr, *dir, *maxSessions, *maxPerTenant, *every, *trees, *drainTimeout, logger); err != nil {
+		logger.Printf("exiting: %v", err)
+		os.Exit(cli.ExitCode(err))
+	}
+}
+
+func run(addr, dir string, maxSessions, maxPerTenant, every, trees int, drainTimeout time.Duration, logger *log.Logger) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+	}
+	m := server.NewManager(server.Config{
+		MaxSessions:     maxSessions,
+		MaxPerTenant:    maxPerTenant,
+		CheckpointDir:   dir,
+		CheckpointEvery: every,
+		Trees:           trees,
+		Logf:            logger.Printf,
+	})
+	if dir != "" {
+		n, err := m.Recover()
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			logger.Printf("recovered %d sessions from %s", n, dir)
+		}
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: m.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	logger.Printf("serving on %s (checkpoints: %s)", ln.Addr(), dirOrOff(dir))
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: finish in-flight requests, persist every
+	// boundary-clean session. A second signal or the drain budget
+	// running out cuts the drain short with exit 130.
+	logger.Printf("signal received, draining (budget %s)", drainTimeout)
+	stop()
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	abort := make(chan os.Signal, 1)
+	signal.Notify(abort, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(abort)
+	go func() {
+		select {
+		case <-abort:
+			logger.Printf("second signal, aborting drain")
+			cancel()
+		case <-dctx.Done():
+		}
+	}()
+
+	shutdownErr := srv.Shutdown(dctx)
+	m.Drain(dctx)
+	if shutdownErr != nil || dctx.Err() != nil {
+		return context.Canceled // 130: the drain was cut short
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}
+
+func dirOrOff(dir string) string {
+	if dir == "" {
+		return "off"
+	}
+	return dir
+}

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// buildDaemon compiles the tuned binary once per test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tuned")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one running tuned process.
+type daemon struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+// startDaemon launches the binary on an ephemeral port and waits for
+// its "serving on" line to learn the address.
+func startDaemon(t *testing.T, bin, dir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-dir", dir, "-every", "1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{t: t, cmd: cmd}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "serving on "); i >= 0 {
+				fields := strings.Fields(line[i+len("serving on "):])
+				addr <- fields[0]
+			}
+		}
+	}()
+	select {
+	case a := <-addr:
+		d.base = "http://" + a
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not report its address")
+	}
+	return d
+}
+
+// sigterm sends SIGTERM and waits, requiring the clean-drain exit code 0.
+func (d *daemon) sigterm() {
+	d.t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		d.t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		d.t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+	}
+}
+
+func (d *daemon) do(method, path string, body, out any) int {
+	d.t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			d.t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, d.base+path, &buf)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			d.t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func e2eCreate() *server.CreateRequest {
+	return &server.CreateRequest{
+		Space: []server.ParamSpec{
+			{Name: "a", Min: 0, Max: 9},
+			{Name: "b", Min: 0, Max: 7},
+			{Name: "c", Levels: []string{"x", "y", "z"}},
+		},
+		PoolSize: 128,
+		PoolSeed: 71,
+		Seed:     72,
+		NInit:    4,
+		NBatch:   2,
+		NMax:     10,
+		Trees:    8,
+	}
+}
+
+func labelE2E(configs [][]int) []core.Label {
+	out := make([]core.Label, len(configs))
+	for i, c := range configs {
+		a, b := float64(c[0]), float64(c[1])
+		out[i] = core.Label{Y: (a-4)*(a-4) + (b-2)*(b-2) + 1}
+	}
+	return out
+}
+
+// step asks and tells one batch; returns the labels applied and done.
+func (d *daemon) step(id string) ([]float64, bool) {
+	d.t.Helper()
+	var ask server.AskResponse
+	if code := d.do("POST", "/sessions/"+id+"/ask", nil, &ask); code != http.StatusOK {
+		d.t.Fatalf("ask: status %d", code)
+	}
+	if ask.Done {
+		return nil, true
+	}
+	labels := labelE2E(ask.Configs)
+	var tell server.TellResponse
+	if code := d.do("POST", "/sessions/"+id+"/tell",
+		&server.TellRequest{Batch: ask.Batch, Step: ask.Step, Labels: labels}, &tell); code != http.StatusOK {
+		d.t.Fatalf("tell: status %d", code)
+	}
+	ys := make([]float64, len(labels))
+	for i, l := range labels {
+		ys[i] = l.Y
+	}
+	return ys, tell.Done
+}
+
+func (d *daemon) drive(id string) []float64 {
+	var curve []float64
+	for {
+		ys, done := d.step(id)
+		curve = append(curve, ys...)
+		if done {
+			return curve
+		}
+	}
+}
+
+// TestDaemonKillRecoverEquivalence is the service half of the
+// session-equivalence gate: a session driven over HTTP whose daemon is
+// SIGTERMed mid-batch and restarted produces exactly the curve of a
+// session on an undisturbed daemon — the restored generator re-derives
+// the batch that died with the old process.
+func TestDaemonKillRecoverEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+
+	// Reference daemon: run the session start to finish.
+	refDir := t.TempDir()
+	ref := startDaemon(t, bin, refDir)
+	var refCreated server.CreateResponse
+	if code := ref.do("POST", "/sessions", e2eCreate(), &refCreated); code != http.StatusCreated {
+		t.Fatalf("ref create: status %d", code)
+	}
+	want := ref.drive(refCreated.ID)
+	ref.sigterm()
+	if len(want) != 10 {
+		t.Fatalf("reference curve has %d labels, want 10", len(want))
+	}
+
+	// Victim daemon: cold batch + one loop batch, then an ask whose
+	// batch dies with the process.
+	dir := t.TempDir()
+	d1 := startDaemon(t, bin, dir)
+	var created server.CreateResponse
+	if code := d1.do("POST", "/sessions", e2eCreate(), &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	id := created.ID
+	var got []float64
+	for i := 0; i < 2; i++ {
+		ys, done := d1.step(id)
+		got = append(got, ys...)
+		if done {
+			t.Fatal("session finished too early for the kill to matter")
+		}
+	}
+	var doomed server.AskResponse
+	if code := d1.do("POST", "/sessions/"+id+"/ask", nil, &doomed); code != http.StatusOK {
+		t.Fatalf("doomed ask: status %d", code)
+	}
+	d1.sigterm()
+
+	// Restart on the same directory: the session is back, and the next
+	// ask re-derives the very batch that was outstanding at the kill.
+	d2 := startDaemon(t, bin, dir)
+	var reborn server.AskResponse
+	if code := d2.do("POST", "/sessions/"+id+"/ask", nil, &reborn); code != http.StatusOK {
+		t.Fatalf("ask after restart: status %d", code)
+	}
+	if fmt.Sprint(reborn.Configs) != fmt.Sprint(doomed.Configs) {
+		t.Fatalf("restart lost the pending batch:\n  before kill: %v\n  after:       %v",
+			doomed.Configs, reborn.Configs)
+	}
+	got = append(got, d2.drive(id)...)
+	d2.sigterm()
+
+	if len(got) != len(want) {
+		t.Fatalf("recovered curve has %d labels, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("curves diverge at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+".ckpt")); err != nil {
+		t.Fatalf("checkpoint missing after drain: %v", err)
+	}
+}

@@ -33,7 +33,6 @@ import (
 	"time"
 
 	"repro/internal/forest"
-	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/space"
 )
@@ -545,43 +544,6 @@ func (r *Result) Telemetry() RunStats {
 	return a
 }
 
-// engine holds the live loop state shared by Run and Resume, and — with
-// src/ss/taken in place of pool/poolX/remaining — by their streaming
-// counterparts RunStream and ResumeStream.
-type engine struct {
-	ctx      context.Context
-	sp       *space.Space
-	pool     []space.Config
-	poolX    [][]float64
-	features []space.Feature
-	ev       Evaluator
-	strat    Strategy
-	p        Params
-	r        *rng.RNG
-	obs      Observer
-	fitter   Fitter
-
-	// src, ss and taken are the streaming run's pool state: the lazy
-	// candidate source, the streaming strategy, and the sorted global
-	// indices already removed from the pool (at most NMax of them — the
-	// streaming analogue of `remaining`, inverted so its size scales
-	// with labels taken rather than pool size).
-	src   pool.Source
-	ss    StreamStrategy
-	taken []int
-
-	// cache reuses score panels across the streaming run's scans (nil
-	// when disabled; see Params.StreamCacheMB).
-	cache *pool.ScanCache
-
-	res       *Result
-	trainX    [][]float64
-	remaining []int
-	model     Model
-	iter      int
-	labelSum  float64 // running sum of TrainY
-}
-
 // Run executes Algorithm 1.
 //
 // ctx cancels the run: the engine drains cleanly at the next boundary
@@ -594,398 +556,26 @@ type engine struct {
 // strat picks batches; r provides all randomness; obs may be nil.
 //
 // The pool slice is not modified; Run tracks membership internally.
+//
+// Run is a thin driver over the ask-tell Session (session.go): it asks
+// for batches, labels them in-process under the failure policy, and
+// tells the labels back — bit-identical to the historical monolithic
+// loop, which the session-equivalence goldens pin.
 func Run(ctx context.Context, sp *space.Space, pool []space.Config, ev Evaluator, strat Strategy, params Params, r *rng.RNG, obs Observer) (*Result, error) {
-	p := params.Normalized()
 	if sp == nil {
 		return nil, fmt.Errorf("core: nil space")
 	}
 	if ev == nil || strat == nil || r == nil {
 		return nil, fmt.Errorf("core: nil evaluator, strategy or generator")
 	}
-	if len(pool) < p.NInit {
-		return nil, fmt.Errorf("core: pool size %d smaller than NInit %d", len(pool), p.NInit)
-	}
-	if p.NMax > len(pool) {
-		return nil, fmt.Errorf("core: NMax %d exceeds pool size %d", p.NMax, len(pool))
-	}
-	if p.NInit > p.NMax {
-		return nil, fmt.Errorf("core: NInit %d exceeds NMax %d", p.NInit, p.NMax)
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-
-	e := &engine{
-		ctx: ctx, sp: sp, pool: pool, ev: ev, strat: strat, p: p, r: r, obs: obs,
-		res: &Result{},
-	}
-	e.init()
-	defer e.captureRNG()
-
-	if err := e.coldStart(); err != nil {
-		return e.res, err
-	}
-	return e.loop()
-}
-
-// init prepares the encoded pool, membership tracking and the fitter.
-func (e *engine) init() {
-	e.poolX = e.sp.EncodeAll(e.pool)
-	e.remaining = make([]int, len(e.pool))
-	for i := range e.remaining {
-		e.remaining[i] = i
-	}
-	e.initCommon()
-}
-
-// initStream prepares the streaming run's state: no encoded pool, no
-// remaining list — membership is the sorted taken set.
-func (e *engine) initStream() {
-	e.taken = make([]int, 0, e.p.NMax)
-	if e.p.WarmUpdate && e.p.StreamCacheMB >= 0 {
-		e.cache = pool.NewScanCache(int64(e.p.StreamCacheMB) << 20)
-	}
-	e.initCommon()
-}
-
-// initCommon prepares the state both engines share.
-func (e *engine) initCommon() {
-	e.features = e.sp.Features()
-	e.trainX = make([][]float64, 0, e.p.NMax)
-	e.fitter = e.p.Fitter
-	if e.fitter == nil {
-		fc := e.p.Forest
-		e.fitter = func(X [][]float64, y []float64, fs []space.Feature, fr *rng.RNG) (Model, error) {
-			return forest.Fit(X, y, fs, fc, fr)
-		}
-	}
-}
-
-// captureRNG records the loop generator's final stream position on every
-// exit path.
-func (e *engine) captureRNG() {
-	if e.res != nil && e.r != nil {
-		e.res.RNGState = e.r.State()
-	}
-}
-
-// coldStart labels the uniform NInit sample and fits the first model.
-func (e *engine) coldStart() error {
-	stats := IterStats{Iteration: 0}
-	initSel := e.r.Sample(len(e.remaining), e.p.NInit)
-	taken := make(map[int]bool, e.p.NInit)
-	evalStart := time.Now()
-	for _, k := range initSel {
-		idx := e.remaining[k]
-		taken[idx] = true
-		cfg := e.pool[idx]
-		y, rep, err := e.evalConfig(cfg, &stats)
-		if err != nil {
-			stats.EvalTime = time.Since(evalStart)
-			e.remaining = compact(e.remaining, taken)
-			return fmt.Errorf("core: cold-start evaluation: %w", err)
-		}
-		if rep.skipped {
-			continue
-		}
-		e.res.TrainConfigs = append(e.res.TrainConfigs, cfg)
-		e.res.TrainY = append(e.res.TrainY, y)
-		e.labelSum += y
-	}
-	stats.EvalTime = time.Since(evalStart)
-	e.remaining = compact(e.remaining, taken)
-
-	if len(e.res.TrainY) == 0 {
-		return fmt.Errorf("core: every cold-start evaluation failed: %w", ErrPoolExhausted)
-	}
-	for _, cfg := range e.res.TrainConfigs {
-		e.trainX = append(e.trainX, e.sp.Encode(cfg))
-	}
-
-	fitStart := time.Now()
-	model, err := e.fitter(e.trainX, e.res.TrainY, e.features, e.r.Split())
+	s, err := NewSession(SessionConfig{
+		Space: sp, Pool: pool, Strategy: strat, Params: params,
+		RNG: r, Observer: obs, Evaluator: ev,
+	})
 	if err != nil {
-		return fmt.Errorf("core: cold-start fit: %w", err)
+		return nil, err
 	}
-	stats.FitTime = time.Since(fitStart)
-	stats.Samples = len(e.res.TrainY)
-	e.model = model
-	e.res.Model = model
-
-	if err := e.observe(stats); err != nil {
-		return err
-	}
-	return e.checkpoint(false)
-}
-
-// loop runs the iteration phase from the engine's current state until
-// NMax labels are collected.
-func (e *engine) loop() (*Result, error) {
-	for len(e.res.TrainY) < e.p.NMax {
-		if err := e.ctx.Err(); err != nil {
-			// Drain: this is an iteration boundary, so the state is
-			// snapshot-clean; persist it for Resume before bailing out.
-			e.drainCheckpoint()
-			return e.res, fmt.Errorf("core: interrupted after %d iterations (%d labels): %w",
-				e.iter, len(e.res.TrainY), err)
-		}
-		if len(e.remaining) == 0 {
-			return e.res, ErrPoolExhausted
-		}
-		e.iter++
-		e.res.Iterations = e.iter
-		stats := IterStats{Iteration: e.iter}
-		batch := e.p.NBatch
-		if rem := e.p.NMax - len(e.res.TrainY); batch > rem {
-			batch = rem
-		}
-
-		selStart := time.Now()
-		cand := &Candidates{Rand: e.r}
-		if pp, ok := e.model.(PoolPredictor); ok {
-			// Cached scoring path: no candidate-matrix rebuild, and
-			// after a warm Update only refreshed trees re-predict.
-			pp.BindPool(e.poolX)
-			cand.Pool, cand.Rows = e.poolX, e.remaining
-			cand.Mu, cand.Sigma = pp.PredictPool(e.remaining)
-			stats.PoolCached = true
-		} else {
-			candX := make([][]float64, len(e.remaining))
-			for i, idx := range e.remaining {
-				candX[i] = e.poolX[idx]
-			}
-			cand.X = candX
-			cand.Mu, cand.Sigma = e.model.PredictBatch(candX)
-		}
-		mu, sigma := cand.Mu, cand.Sigma
-		bestY := e.res.TrainY[0]
-		for _, y := range e.res.TrainY[1:] {
-			if y < bestY {
-				bestY = y
-			}
-		}
-		cand.BestY = bestY
-		sel := e.strat.Select(cand, batch)
-		stats.SelectTime = time.Since(selStart)
-		if len(sel) == 0 {
-			return e.res, fmt.Errorf("core: strategy %q selected nothing at iteration %d", e.strat.Name(), e.iter)
-		}
-
-		taken := make(map[int]bool, len(sel))
-		evalStart := time.Now()
-		for _, k := range sel {
-			if k < 0 || k >= len(e.remaining) {
-				return e.res, fmt.Errorf("core: strategy %q returned out-of-range index %d", e.strat.Name(), k)
-			}
-			idx := e.remaining[k]
-			if taken[idx] {
-				return e.res, fmt.Errorf("core: strategy %q returned duplicate index %d", e.strat.Name(), k)
-			}
-			taken[idx] = true
-			cfg := e.pool[idx]
-			y, rep, err := e.evalConfig(cfg, &stats)
-			if err != nil {
-				stats.EvalTime = time.Since(evalStart)
-				e.remaining = compact(e.remaining, taken)
-				return e.res, fmt.Errorf("core: iteration %d: %w", e.iter, err)
-			}
-			if rep.skipped {
-				continue
-			}
-			if e.p.Guard.enabled() {
-				gy, quarantined, gerr := e.guardLabel(cfg, y, mu[k], sigma[k], &stats)
-				if gerr != nil {
-					stats.EvalTime = time.Since(evalStart)
-					e.remaining = compact(e.remaining, taken)
-					return e.res, fmt.Errorf("core: iteration %d: label guard: %w", e.iter, gerr)
-				}
-				if quarantined {
-					continue
-				}
-				y = gy
-			}
-			e.res.TrainConfigs = append(e.res.TrainConfigs, cfg)
-			e.res.TrainY = append(e.res.TrainY, y)
-			e.labelSum += y
-			e.trainX = append(e.trainX, e.poolX[idx])
-			if e.p.RecordSelections {
-				e.res.Selections = append(e.res.Selections, Selection{
-					Config: cfg, Mu: mu[k], Sigma: sigma[k], Y: y, Iteration: e.iter,
-				})
-			}
-		}
-		stats.EvalTime = time.Since(evalStart)
-		e.remaining = compact(e.remaining, taken)
-
-		fitStart := time.Now()
-		var err error
-		if u, ok := e.model.(Updatable); e.p.WarmUpdate && ok {
-			err = u.Update(e.trainX, e.res.TrainY, e.r.Split())
-		} else {
-			e.model, err = e.fitter(e.trainX, e.res.TrainY, e.features, e.r.Split())
-		}
-		if err != nil {
-			return e.res, fmt.Errorf("core: refit at iteration %d: %w", e.iter, err)
-		}
-		stats.FitTime = time.Since(fitStart)
-		stats.Samples = len(e.res.TrainY)
-		e.res.Model = e.model
-
-		if err := e.observe(stats); err != nil {
-			return e.res, err
-		}
-		if err := e.checkpoint(false); err != nil {
-			return e.res, err
-		}
-	}
-	return e.res, nil
-}
-
-// evalReport summarizes one configuration's labeling under the failure
-// policy.
-type evalReport struct {
-	skipped bool
-}
-
-// evalConfig labels cfg under the failure policy, accounting retries,
-// timeouts, skips and failed-attempt cost into stats and the result.
-func (e *engine) evalConfig(cfg space.Config, stats *IterStats) (float64, evalReport, error) {
-	var rep evalReport
-	pol := e.p.Failure
-	delay := pol.Backoff
-	for attempt := 0; ; attempt++ {
-		if err := e.ctx.Err(); err != nil {
-			return 0, rep, err
-		}
-		y, err, timedOut := e.attempt(cfg, pol.Timeout)
-		if err == nil {
-			return y, rep, nil
-		}
-		// A failed run that still consumed machine time bills the
-		// labeling budget: the paper's CC counts time spent, not
-		// labels obtained.
-		if y > 0 && !math.IsNaN(y) && !math.IsInf(y, 0) {
-			stats.FailedCost += y
-			e.res.FailedCost += y
-		}
-		if e.ctx.Err() != nil {
-			return 0, rep, err
-		}
-		if timedOut {
-			// The attempt outlived its per-evaluation deadline while
-			// the run's context is still live: a hung measurement, and
-			// as retryable as a crashed one.
-			stats.EvalTimeouts++
-			err = fmt.Errorf("%w after %v", ErrEvalTimeout, pol.Timeout)
-		} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			// Context errors that are neither the run's nor the
-			// attempt deadline's come from the evaluator's own
-			// machinery; treat them as a run-level stop, as the engine
-			// always has.
-			return 0, rep, err
-		}
-		if attempt >= pol.MaxRetries {
-			if pol.OnExhausted == FailSkip {
-				rep.skipped = true
-				stats.EvalSkips++
-				return 0, rep, nil
-			}
-			return 0, rep, fmt.Errorf("evaluation of %v failed after %d attempts: %w", cfg, attempt+1, err)
-		}
-		stats.EvalRetries++
-		if delay > 0 {
-			sleep := delay
-			if pol.Timeout > 0 && sleep > pol.Timeout {
-				// A backoff longer than an attempt may run would stall
-				// the loop worse than the hang the timeout just cut.
-				sleep = pol.Timeout
-			}
-			if err := sleepCtx(e.ctx, sleep); err != nil {
-				return 0, rep, err
-			}
-			delay *= 2
-			if pol.MaxBackoff > 0 && delay > pol.MaxBackoff {
-				delay = pol.MaxBackoff
-			}
-		}
-	}
-}
-
-// attempt runs one evaluation attempt under the per-evaluation deadline.
-// timedOut reports that the attempt's own deadline expired while the
-// run's context was still live.
-func (e *engine) attempt(cfg space.Config, timeout time.Duration) (y float64, err error, timedOut bool) {
-	if timeout <= 0 {
-		y, err = e.ev.Evaluate(e.ctx, cfg)
-		return y, err, false
-	}
-	actx, cancel := context.WithTimeout(e.ctx, timeout)
-	defer cancel()
-	y, err = e.ev.Evaluate(actx, cfg)
-	if err != nil && errors.Is(actx.Err(), context.DeadlineExceeded) && e.ctx.Err() == nil {
-		timedOut = true
-	}
-	return y, err, timedOut
-}
-
-// guardLabel screens a freshly measured loop-phase label against the
-// model's prediction interval at selection time. It returns the label to
-// train on (the original, or the median of K re-measurements), or
-// quarantined = true when the configuration should be dropped untrained.
-// All machine time the guard consumes is billed into GuardCost.
-func (e *engine) guardLabel(cfg space.Config, y, mu, sigma float64, stats *IterStats) (float64, bool, error) {
-	g := e.p.Guard
-	if !g.suspect(y, mu, sigma) {
-		return y, false, nil
-	}
-	stats.GuardFlagged++
-	if g.Action == GuardQuarantine {
-		e.billGuard(stats, y)
-		stats.GuardQuarantined++
-		return 0, true, nil
-	}
-	k := g.K
-	if k <= 0 {
-		k = 3
-	}
-	vals := make([]float64, 0, k)
-	for j := 0; j < k; j++ {
-		v, rep, err := e.evalConfig(cfg, stats)
-		if err != nil {
-			return 0, false, err
-		}
-		if rep.skipped {
-			continue
-		}
-		vals = append(vals, v)
-	}
-	if len(vals) == 0 {
-		// Every re-measurement failed its retry budget: the
-		// configuration is poison either way.
-		e.billGuard(stats, y)
-		stats.GuardQuarantined++
-		return 0, true, nil
-	}
-	stats.GuardRemeasured++
-	m := median(vals)
-	// The run spent y plus every re-measurement of machine time on this
-	// label; the median becomes the label (counted in CC through
-	// TrainY), the rest is guard overhead.
-	waste := y - m
-	for _, v := range vals {
-		waste += v
-	}
-	e.billGuard(stats, waste)
-	return m, false, nil
-}
-
-// billGuard accounts guard-consumed machine time.
-func (e *engine) billGuard(stats *IterStats, cost float64) {
-	if cost <= 0 || math.IsNaN(cost) || math.IsInf(cost, 0) {
-		return
-	}
-	stats.GuardCost += cost
-	e.res.GuardCost += cost
+	return driveSession(ctx, s, ev)
 }
 
 // median returns the median of xs (mean of the central pair for even
@@ -998,35 +588,6 @@ func median(xs []float64) float64 {
 		return cp[n/2]
 	}
 	return (cp[n/2-1] + cp[n/2]) / 2
-}
-
-// observe appends the event to the telemetry stream and notifies the
-// observer.
-func (e *engine) observe(stats IterStats) error {
-	e.res.Stats = append(e.res.Stats, stats)
-	if e.obs == nil {
-		return nil
-	}
-	return e.obs(&State{
-		Model:        e.model,
-		TrainConfigs: e.res.TrainConfigs,
-		TrainY:       e.res.TrainY,
-		Iteration:    e.iter,
-		Stats:        stats,
-		LabelCost:    e.labelSum + e.res.FailedCost + e.res.GuardCost,
-	})
-}
-
-// sleepCtx sleeps for d unless ctx is cancelled first.
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
 }
 
 // compact removes the taken pool indices from remaining, preserving order.

@@ -11,9 +11,42 @@ import (
 	"repro/internal/space"
 )
 
-// snapshotVersion guards the wire format; Resume rejects snapshots from
-// a different engine generation instead of mis-reading them.
-const snapshotVersion = 1
+// Snapshot wire versions. The engine writes the lowest version that can
+// represent the state — version 1 unless the session carries a service
+// manifest — and reads every version in the supported range, so
+// checkpoints written by older engine generations keep resuming and a
+// genuinely unknown version fails with a typed error instead of a
+// silent misparse.
+const (
+	// snapshotVersion is the base wire format (pre-service engine
+	// generations wrote nothing else).
+	snapshotVersion = 1
+
+	// snapshotVersionService adds the opaque service manifest a
+	// daemon-managed session stores for crash recovery.
+	snapshotVersionService = 2
+)
+
+// SnapshotVersionError reports a snapshot whose wire version this
+// engine generation cannot read.
+type SnapshotVersionError struct {
+	Version int
+}
+
+// Error implements error.
+func (e *SnapshotVersionError) Error() string {
+	return fmt.Sprintf("core: snapshot version %d unsupported (engine speaks %d..%d)",
+		e.Version, snapshotVersion, snapshotVersionService)
+}
+
+// checkSnapshotVersion rejects wire versions outside the supported
+// range with a typed error.
+func checkSnapshotVersion(v int) error {
+	if v < snapshotVersion || v > snapshotVersionService {
+		return &SnapshotVersionError{Version: v}
+	}
+	return nil
+}
 
 // Snapshot is the complete serializable state of a run at an iteration
 // boundary. Together with the inputs that are regenerated
@@ -73,6 +106,12 @@ type Snapshot struct {
 	Selections []Selection `json:"selections,omitempty"`
 	FailedCost float64     `json:"failed_cost,omitempty"`
 	GuardCost  float64     `json:"guard_cost,omitempty"`
+
+	// Service is the opaque session manifest of a daemon-managed
+	// session (SessionConfig.Service), stored verbatim. Its presence
+	// bumps the wire version to snapshotVersionService; plain runs omit
+	// it and keep writing the version-1 format byte for byte.
+	Service json.RawMessage `json:"service,omitempty"`
 }
 
 // poolHash fingerprints a pool with FNV-1a over its level indices.
@@ -99,21 +138,21 @@ func poolHash(pool []space.Config) uint64 {
 // checkpoint hands a snapshot to the configured sink when due: after
 // the cold start (iteration 0) and after every CheckpointEvery-th
 // completed iteration.
-func (e *engine) checkpoint(force bool) error {
-	if e.p.Checkpoint == nil {
+func (s *Session) checkpoint(force bool) error {
+	if s.p.Checkpoint == nil {
 		return nil
 	}
 	if !force {
-		if e.p.CheckpointEvery <= 0 || e.iter%e.p.CheckpointEvery != 0 {
+		if s.p.CheckpointEvery <= 0 || s.iter%s.p.CheckpointEvery != 0 {
 			return nil
 		}
 	}
-	snap, err := e.snapshot()
+	snap, err := s.snapshot()
 	if err != nil {
-		return fmt.Errorf("core: snapshot at iteration %d: %w", e.iter, err)
+		return fmt.Errorf("core: snapshot at iteration %d: %w", s.iter, err)
 	}
-	if err := e.p.Checkpoint(snap); err != nil {
-		return fmt.Errorf("core: checkpoint at iteration %d: %w", e.iter, err)
+	if err := s.p.Checkpoint(snap); err != nil {
+		return fmt.Errorf("core: checkpoint at iteration %d: %w", s.iter, err)
 	}
 	return nil
 }
@@ -122,45 +161,62 @@ func (e *engine) checkpoint(force bool) error {
 // between iterations. The run is already returning ctx.Err(); a sink
 // failure here cannot change that outcome, so it is ignored — the
 // previous periodic snapshot remains valid.
-func (e *engine) drainCheckpoint() {
-	if e.p.Checkpoint == nil {
+func (s *Session) drainCheckpoint() {
+	if s.p.Checkpoint == nil {
 		return
 	}
-	if snap, err := e.snapshot(); err == nil {
-		_ = e.p.Checkpoint(snap)
+	if snap, err := s.snapshot(); err == nil {
+		_ = s.p.Checkpoint(snap)
 	}
 }
 
-// snapshot captures the engine's boundary state. Slices are copied so
-// the snapshot stays valid while the engine keeps running.
-func (e *engine) snapshot() (*Snapshot, error) {
-	model, err := json.Marshal(e.model)
+// Snapshot captures the session's state for persistence. It is valid
+// only at an iteration boundary (no labels outstanding): mid-batch
+// state is deliberately not serializable, because resume re-derives the
+// lost batch deterministically from the restored generator.
+func (s *Session) Snapshot() (*Snapshot, error) {
+	switch s.phase {
+	case phaseReady, phaseDone:
+		return s.snapshot()
+	default:
+		return nil, fmt.Errorf("core: snapshot only at an iteration boundary (phase %s)", s.phase)
+	}
+}
+
+// snapshot captures the session's boundary state. Slices are copied so
+// the snapshot stays valid while the session keeps running.
+func (s *Session) snapshot() (*Snapshot, error) {
+	model, err := json.Marshal(s.model)
 	if err != nil {
 		return nil, fmt.Errorf("serializing model: %w", err)
 	}
 	snap := &Snapshot{
 		Version:      snapshotVersion,
-		Iteration:    e.iter,
-		TrainConfigs: append([]space.Config(nil), e.res.TrainConfigs...),
-		TrainY:       append([]float64(nil), e.res.TrainY...),
-		RNG:          e.r.State(),
+		Iteration:    s.iter,
+		TrainConfigs: append([]space.Config(nil), s.res.TrainConfigs...),
+		TrainY:       append([]float64(nil), s.res.TrainY...),
+		RNG:          s.r.State(),
 		Model:        model,
-		Stats:        append([]IterStats(nil), e.res.Stats...),
-		Selections:   append([]Selection(nil), e.res.Selections...),
-		FailedCost:   e.res.FailedCost,
-		GuardCost:    e.res.GuardCost,
+		Stats:        append([]IterStats(nil), s.res.Stats...),
+		Selections:   append([]Selection(nil), s.res.Selections...),
+		FailedCost:   s.res.FailedCost,
+		GuardCost:    s.res.GuardCost,
 	}
-	if e.src != nil {
+	if s.service != nil {
+		snap.Version = snapshotVersionService
+		snap.Service = append(json.RawMessage(nil), s.service...)
+	}
+	if s.src != nil {
 		snap.Streamed = true
-		snap.PoolSize = e.src.Len()
-		snap.PoolHash = e.src.Fingerprint()
-		snap.Taken = append([]int(nil), e.taken...)
+		snap.PoolSize = s.src.Len()
+		snap.PoolHash = s.src.Fingerprint()
+		snap.Taken = append([]int(nil), s.taken...)
 	} else {
-		snap.PoolSize = len(e.pool)
-		snap.PoolHash = poolHash(e.pool)
-		snap.Remaining = append([]int(nil), e.remaining...)
+		snap.PoolSize = len(s.pl)
+		snap.PoolHash = poolHash(s.pl)
+		snap.Remaining = append([]int(nil), s.remaining...)
 	}
-	if sev, ok := e.ev.(StatefulEvaluator); ok {
+	if sev, ok := s.ev.(StatefulEvaluator); ok {
 		st := sev.EvaluatorState()
 		snap.Evaluator = &st
 	}
@@ -171,6 +227,127 @@ func (e *engine) snapshot() (*Snapshot, error) {
 // the default forest Fitter.
 func defaultModelLoader(data []byte) (Model, error) {
 	return forest.Load(bytes.NewReader(data))
+}
+
+// ResumeSession rebuilds a Session from a Snapshot at the iteration
+// boundary it was taken at. The configuration supplies the regenerated
+// deterministic inputs (pool or source — validated against the
+// snapshot's fingerprint — strategy and params, which must match the
+// original run's); the snapshot restores the labeled set, pool
+// membership, the generator, the fitted model and, when present, the
+// evaluator's noise stream (via SessionConfig.Evaluator). The
+// configuration's RNG is ignored; the generator always resumes from the
+// snapshot's stream position.
+func ResumeSession(snap *Snapshot, cfg SessionConfig) (*Session, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("core: nil snapshot")
+	}
+	if err := checkSnapshotVersion(snap.Version); err != nil {
+		return nil, err
+	}
+	if snap.Streamed && cfg.Source == nil {
+		return nil, fmt.Errorf("core: snapshot was taken by a streamed run; use a Source to resume it")
+	}
+	if !snap.Streamed && cfg.Source != nil {
+		return nil, fmt.Errorf("core: snapshot was taken by an in-memory run; use a Pool to resume it")
+	}
+	if cfg.Service == nil {
+		cfg.Service = snap.Service
+	}
+	s, err := newSession(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	if s.src != nil {
+		if s.src.Len() != snap.PoolSize {
+			return nil, fmt.Errorf("core: source size %d does not match snapshot's %d", s.src.Len(), snap.PoolSize)
+		}
+		if h := s.src.Fingerprint(); h != snap.PoolHash {
+			return nil, fmt.Errorf("core: source fingerprint %#x does not match snapshot's %#x (different source or seed)", h, snap.PoolHash)
+		}
+	} else {
+		if len(s.pl) != snap.PoolSize {
+			return nil, fmt.Errorf("core: pool size %d does not match snapshot's %d", len(s.pl), snap.PoolSize)
+		}
+		if h := poolHash(s.pl); h != snap.PoolHash {
+			return nil, fmt.Errorf("core: pool hash %#x does not match snapshot's %#x (different pool or seed)", h, snap.PoolHash)
+		}
+	}
+	if len(snap.TrainConfigs) != len(snap.TrainY) {
+		return nil, fmt.Errorf("core: snapshot has %d configs but %d labels", len(snap.TrainConfigs), len(snap.TrainY))
+	}
+	if len(snap.TrainY) == 0 || len(snap.TrainY) > s.p.NMax {
+		return nil, fmt.Errorf("core: snapshot labeled-set size %d outside (0, NMax=%d]", len(snap.TrainY), s.p.NMax)
+	}
+	if s.src != nil {
+		for i, g := range snap.Taken {
+			if g < 0 || g >= s.src.Len() {
+				return nil, fmt.Errorf("core: snapshot taken index %d out of source range", g)
+			}
+			if i > 0 && g <= snap.Taken[i-1] {
+				return nil, fmt.Errorf("core: snapshot taken set not sorted and unique at %d", i)
+			}
+		}
+	} else {
+		for _, idx := range snap.Remaining {
+			if idx < 0 || idx >= len(s.pl) {
+				return nil, fmt.Errorf("core: snapshot remaining index %d out of pool range", idx)
+			}
+		}
+	}
+
+	r, err := rng.FromState(snap.RNG)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot RNG: %w", err)
+	}
+	loader := s.p.ModelLoader
+	if loader == nil {
+		loader = defaultModelLoader
+	}
+	model, err := loader(snap.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot model: %w", err)
+	}
+	if snap.Evaluator != nil {
+		sev, ok := cfg.Evaluator.(StatefulEvaluator)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot carries evaluator state but evaluator %T cannot restore it", cfg.Evaluator)
+		}
+		if err := sev.RestoreEvaluatorState(*snap.Evaluator); err != nil {
+			return nil, fmt.Errorf("core: restoring evaluator state: %w", err)
+		}
+	}
+
+	s.r = r
+	s.model = model
+	s.iter = snap.Iteration
+	s.res = &Result{
+		TrainConfigs: append([]space.Config(nil), snap.TrainConfigs...),
+		TrainY:       append([]float64(nil), snap.TrainY...),
+		Selections:   append([]Selection(nil), snap.Selections...),
+		Stats:        append([]IterStats(nil), snap.Stats...),
+		FailedCost:   snap.FailedCost,
+		GuardCost:    snap.GuardCost,
+		Iterations:   snap.Iteration,
+		Model:        model,
+	}
+	if s.src != nil {
+		s.taken = append(s.taken[:0], snap.Taken...)
+	} else {
+		s.remaining = append(s.remaining[:0], snap.Remaining...)
+	}
+	for _, c := range snap.TrainConfigs {
+		s.trainX = append(s.trainX, s.sp.Encode(c))
+	}
+	for _, y := range snap.TrainY {
+		s.labelSum += y
+	}
+	if len(s.res.TrainY) >= s.p.NMax {
+		s.phase = phaseDone
+	} else {
+		s.phase = phaseReady
+	}
+	return s, nil
 }
 
 // Resume continues a run from a Snapshot, bit-identically to the run
@@ -189,85 +366,23 @@ func Resume(ctx context.Context, snap *Snapshot, sp *space.Space, pool []space.C
 	if snap == nil {
 		return nil, fmt.Errorf("core: nil snapshot")
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: snapshot version %d, engine speaks %d", snap.Version, snapshotVersion)
+	if err := checkSnapshotVersion(snap.Version); err != nil {
+		return nil, err
 	}
 	if snap.Streamed {
 		return nil, fmt.Errorf("core: snapshot was taken by a streamed run; use ResumeStream")
 	}
-	p := params.Normalized()
 	if sp == nil {
 		return nil, fmt.Errorf("core: nil space")
 	}
 	if ev == nil || strat == nil {
 		return nil, fmt.Errorf("core: nil evaluator or strategy")
 	}
-	if len(pool) != snap.PoolSize {
-		return nil, fmt.Errorf("core: pool size %d does not match snapshot's %d", len(pool), snap.PoolSize)
-	}
-	if h := poolHash(pool); h != snap.PoolHash {
-		return nil, fmt.Errorf("core: pool hash %#x does not match snapshot's %#x (different pool or seed)", h, snap.PoolHash)
-	}
-	if len(snap.TrainConfigs) != len(snap.TrainY) {
-		return nil, fmt.Errorf("core: snapshot has %d configs but %d labels", len(snap.TrainConfigs), len(snap.TrainY))
-	}
-	if len(snap.TrainY) == 0 || len(snap.TrainY) > p.NMax {
-		return nil, fmt.Errorf("core: snapshot labeled-set size %d outside (0, NMax=%d]", len(snap.TrainY), p.NMax)
-	}
-	for _, idx := range snap.Remaining {
-		if idx < 0 || idx >= len(pool) {
-			return nil, fmt.Errorf("core: snapshot remaining index %d out of pool range", idx)
-		}
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-
-	r, err := rng.FromState(snap.RNG)
+	s, err := ResumeSession(snap, SessionConfig{
+		Space: sp, Pool: pool, Strategy: strat, Params: params, Observer: obs, Evaluator: ev,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: snapshot RNG: %w", err)
+		return nil, err
 	}
-	loader := p.ModelLoader
-	if loader == nil {
-		loader = defaultModelLoader
-	}
-	model, err := loader(snap.Model)
-	if err != nil {
-		return nil, fmt.Errorf("core: snapshot model: %w", err)
-	}
-	if snap.Evaluator != nil {
-		sev, ok := ev.(StatefulEvaluator)
-		if !ok {
-			return nil, fmt.Errorf("core: snapshot carries evaluator state but evaluator %T cannot restore it", ev)
-		}
-		if err := sev.RestoreEvaluatorState(*snap.Evaluator); err != nil {
-			return nil, fmt.Errorf("core: restoring evaluator state: %w", err)
-		}
-	}
-
-	e := &engine{
-		ctx: ctx, sp: sp, pool: pool, ev: ev, strat: strat, p: p, r: r, obs: obs,
-		res: &Result{
-			TrainConfigs: append([]space.Config(nil), snap.TrainConfigs...),
-			TrainY:       append([]float64(nil), snap.TrainY...),
-			Selections:   append([]Selection(nil), snap.Selections...),
-			Stats:        append([]IterStats(nil), snap.Stats...),
-			FailedCost:   snap.FailedCost,
-			GuardCost:    snap.GuardCost,
-			Iterations:   snap.Iteration,
-			Model:        model,
-		},
-	}
-	e.init()
-	defer e.captureRNG()
-	e.remaining = append(e.remaining[:0], snap.Remaining...)
-	e.iter = snap.Iteration
-	e.model = model
-	for _, cfg := range snap.TrainConfigs {
-		e.trainX = append(e.trainX, e.sp.Encode(cfg))
-	}
-	for _, y := range snap.TrainY {
-		e.labelSum += y
-	}
-	return e.loop()
+	return driveSession(ctx, s, ev)
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/forest"
 	"repro/internal/pool"
@@ -32,11 +31,11 @@ func (s *streamScorer) ScoreBatch(X [][]float64, mu, sigma []float64) {
 }
 
 // batchScorer returns the current model as a pool scorer.
-func (e *engine) batchScorer() pool.BatchScorer {
-	if bs, ok := e.model.(pool.BatchScorer); ok {
+func (s *Session) batchScorer() pool.BatchScorer {
+	if bs, ok := s.model.(pool.BatchScorer); ok {
 		return bs
 	}
-	return &streamScorer{m: e.model}
+	return &streamScorer{m: s.model}
 }
 
 // quantizable is the quantized-view hook Params.Quant needs from the
@@ -49,50 +48,50 @@ type quantizable interface {
 // model's quantized view under Params.Quant (refreshing the compiled
 // quantized slots, so warm updates recompile only the trees they
 // replaced), the model itself otherwise.
-func (e *engine) scanScorer() (pool.BatchScorer, error) {
-	if !e.p.Quant {
-		return e.batchScorer(), nil
+func (s *Session) scanScorer() (pool.BatchScorer, error) {
+	if !s.p.Quant {
+		return s.batchScorer(), nil
 	}
-	q, ok := e.model.(quantizable)
+	q, ok := s.model.(quantizable)
 	if !ok {
-		return nil, fmt.Errorf("core: Params.Quant needs a model with a quantized scorer, %T has none", e.model)
+		return nil, fmt.Errorf("core: Params.Quant needs a model with a quantized scorer, %T has none", s.model)
 	}
 	return q.Quantized()
 }
 
-// poolStream is the engine's PoolStream view: the source minus the taken
-// set, scored by the current model.
+// poolStream is the session's PoolStream view: the source minus the
+// taken set, scored by the current model.
 type poolStream struct {
-	e     *engine
+	s     *Session
 	bestY float64
 }
 
 // Len implements PoolStream.
-func (ps *poolStream) Len() int { return ps.e.src.Len() - len(ps.e.taken) }
+func (ps *poolStream) Len() int { return ps.s.src.Len() - len(ps.s.taken) }
 
 // BestY implements PoolStream.
 func (ps *poolStream) BestY() float64 { return ps.bestY }
 
 // Rand implements PoolStream.
-func (ps *poolStream) Rand() *rng.RNG { return ps.e.r }
+func (ps *poolStream) Rand() *rng.RNG { return ps.s.r }
 
 // Scan implements PoolStream.
 func (ps *poolStream) Scan(consume func(ord int, x []float64, mu, sigma float64)) error {
-	sc, err := ps.e.scanScorer()
+	sc, err := ps.s.scanScorer()
 	if err != nil {
 		return err
 	}
 	cfg := pool.ScanConfig{
-		Shard:   ps.e.p.StreamShard,
-		Workers: ps.e.p.StreamWorkers,
-		Skip:    ps.e.taken,
+		Shard:   ps.s.p.StreamShard,
+		Workers: ps.s.p.StreamWorkers,
+		Skip:    ps.s.taken,
 	}
 	// The cross-scan cache needs the per-slot scoring contract; the
 	// serialized fallback scorer for plain Models doesn't have it.
 	if _, ok := sc.(pool.SlotScorer); ok {
-		cfg.Cache = ps.e.cache
+		cfg.Cache = ps.s.cache
 	}
-	return pool.Scan(ps.e.src, sc, cfg, consume)
+	return pool.Scan(ps.s.src, sc, cfg, consume)
 }
 
 // RunStream executes Algorithm 1 over a lazily generated candidate pool.
@@ -112,64 +111,42 @@ func (ps *poolStream) Scan(consume func(ord int, x []float64, mu, sigma float64)
 // Context handling, failure policy, label guard, telemetry and
 // checkpointing behave exactly as in Run; snapshots record the source
 // fingerprint and the taken set instead of the remaining list, and are
-// resumed with ResumeStream.
+// resumed with ResumeStream. Like Run, it is a thin driver over the
+// ask-tell Session.
 func RunStream(ctx context.Context, src pool.Source, ev Evaluator, strat Strategy, params Params, r *rng.RNG, obs Observer) (*Result, error) {
-	p := params.Normalized()
 	if src == nil {
 		return nil, fmt.Errorf("core: nil source")
 	}
-	sp := src.Space()
-	if sp == nil {
+	if src.Space() == nil {
 		return nil, fmt.Errorf("core: source has nil space")
 	}
 	if ev == nil || strat == nil || r == nil {
 		return nil, fmt.Errorf("core: nil evaluator, strategy or generator")
 	}
-	ss, ok := strat.(StreamStrategy)
-	if !ok {
-		return nil, fmt.Errorf("core: strategy %q does not support streaming selection", strat.Name())
+	s, err := NewSession(SessionConfig{
+		Source: src, Strategy: strat, Params: params,
+		RNG: r, Observer: obs, Evaluator: ev,
+	})
+	if err != nil {
+		return nil, err
 	}
-	n := src.Len()
-	if n < p.NInit {
-		return nil, fmt.Errorf("core: pool size %d smaller than NInit %d", n, p.NInit)
-	}
-	if p.NMax > n {
-		return nil, fmt.Errorf("core: NMax %d exceeds pool size %d", p.NMax, n)
-	}
-	if p.NInit > p.NMax {
-		return nil, fmt.Errorf("core: NInit %d exceeds NMax %d", p.NInit, p.NMax)
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-
-	e := &engine{
-		ctx: ctx, sp: sp, src: src, ev: ev, strat: strat, ss: ss, p: p, r: r, obs: obs,
-		res: &Result{},
-	}
-	e.initStream()
-	defer e.captureRNG()
-
-	if err := e.streamColdStart(); err != nil {
-		return e.res, err
-	}
-	return e.streamLoop()
+	return driveSession(ctx, s, ev)
 }
 
 // markTaken inserts global index g into the sorted taken set.
-func (e *engine) markTaken(g int) {
-	i := sort.SearchInts(e.taken, g)
-	e.taken = append(e.taken, 0)
-	copy(e.taken[i+1:], e.taken[i:])
-	e.taken[i] = g
+func (s *Session) markTaken(g int) {
+	i := sort.SearchInts(s.taken, g)
+	s.taken = append(s.taken, 0)
+	copy(s.taken[i+1:], s.taken[i:])
+	s.taken[i] = g
 }
 
 // ordToGlobal maps a candidate ordinal — its rank among non-taken
 // candidates in source order, the index space strategies select in — to
 // the candidate's global source index.
-func (e *engine) ordToGlobal(ord int) int {
+func (s *Session) ordToGlobal(ord int) int {
 	g := ord
-	for _, t := range e.taken {
+	for _, t := range s.taken {
 		if t <= g {
 			g++
 		} else {
@@ -183,10 +160,10 @@ func (e *engine) ordToGlobal(ord int) int {
 // indices (which may repeat or arrive in any order): directly for
 // random-access sources, otherwise with one generation-only pass over the
 // stream — cheap, since nothing is encoded or scored.
-func (e *engine) fetchConfigs(globals []int) ([]space.Config, error) {
-	d := e.sp.NumParams()
+func (s *Session) fetchConfigs(globals []int) ([]space.Config, error) {
+	d := s.sp.NumParams()
 	out := make([]space.Config, len(globals))
-	if ra, ok := e.src.(pool.RandomAccess); ok {
+	if ra, ok := s.src.(pool.RandomAccess); ok {
 		for i, g := range globals {
 			c := make(space.Config, d)
 			ra.At(g, c)
@@ -199,7 +176,7 @@ func (e *engine) fetchConfigs(globals []int) ([]space.Config, error) {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return globals[order[a]] < globals[order[b]] })
-	shard := e.p.StreamShard
+	shard := s.p.StreamShard
 	if shard <= 0 {
 		shard = 1024
 	}
@@ -208,10 +185,10 @@ func (e *engine) fetchConfigs(globals []int) ([]space.Config, error) {
 	for i := range buf {
 		buf[i] = space.Config(flat[i*d : (i+1)*d : (i+1)*d])
 	}
-	e.src.Reset()
+	s.src.Reset()
 	base, w := 0, 0
 	for w < len(order) {
-		n := e.src.Next(buf)
+		n := s.src.Next(buf)
 		if n == 0 {
 			return nil, fmt.Errorf("core: source ended at %d candidates before index %d", base, globals[order[w]])
 		}
@@ -222,176 +199,6 @@ func (e *engine) fetchConfigs(globals []int) ([]space.Config, error) {
 		base += n
 	}
 	return out, nil
-}
-
-// streamColdStart labels the uniform NInit sample and fits the first
-// model — the same generator draw, labeling order and fit as coldStart,
-// addressed through the source instead of a materialized pool.
-func (e *engine) streamColdStart() error {
-	stats := IterStats{Iteration: 0}
-	initSel := e.r.Sample(e.src.Len(), e.p.NInit)
-	cfgs, err := e.fetchConfigs(initSel)
-	if err != nil {
-		return fmt.Errorf("core: cold-start fetch: %w", err)
-	}
-	evalStart := time.Now()
-	for i, g := range initSel {
-		e.markTaken(g)
-		cfg := cfgs[i]
-		y, rep, err := e.evalConfig(cfg, &stats)
-		if err != nil {
-			stats.EvalTime = time.Since(evalStart)
-			return fmt.Errorf("core: cold-start evaluation: %w", err)
-		}
-		if rep.skipped {
-			continue
-		}
-		e.res.TrainConfigs = append(e.res.TrainConfigs, cfg)
-		e.res.TrainY = append(e.res.TrainY, y)
-		e.labelSum += y
-	}
-	stats.EvalTime = time.Since(evalStart)
-
-	if len(e.res.TrainY) == 0 {
-		return fmt.Errorf("core: every cold-start evaluation failed: %w", ErrPoolExhausted)
-	}
-	for _, cfg := range e.res.TrainConfigs {
-		e.trainX = append(e.trainX, e.sp.Encode(cfg))
-	}
-
-	fitStart := time.Now()
-	model, err := e.fitter(e.trainX, e.res.TrainY, e.features, e.r.Split())
-	if err != nil {
-		return fmt.Errorf("core: cold-start fit: %w", err)
-	}
-	stats.FitTime = time.Since(fitStart)
-	stats.Samples = len(e.res.TrainY)
-	e.model = model
-	e.res.Model = model
-
-	if err := e.observe(stats); err != nil {
-		return err
-	}
-	return e.checkpoint(false)
-}
-
-// streamLoop runs the iteration phase over the streamed pool until NMax
-// labels are collected, mirroring loop() decision for decision.
-func (e *engine) streamLoop() (*Result, error) {
-	for len(e.res.TrainY) < e.p.NMax {
-		if err := e.ctx.Err(); err != nil {
-			e.drainCheckpoint()
-			return e.res, fmt.Errorf("core: interrupted after %d iterations (%d labels): %w",
-				e.iter, len(e.res.TrainY), err)
-		}
-		remaining := e.src.Len() - len(e.taken)
-		if remaining == 0 {
-			return e.res, ErrPoolExhausted
-		}
-		e.iter++
-		e.res.Iterations = e.iter
-		stats := IterStats{Iteration: e.iter}
-		batch := e.p.NBatch
-		if rem := e.p.NMax - len(e.res.TrainY); batch > rem {
-			batch = rem
-		}
-
-		selStart := time.Now()
-		bestY := e.res.TrainY[0]
-		for _, y := range e.res.TrainY[1:] {
-			if y < bestY {
-				bestY = y
-			}
-		}
-		sel, err := e.ss.SelectStream(&poolStream{e: e, bestY: bestY}, batch)
-		if err != nil {
-			return e.res, fmt.Errorf("core: streaming selection at iteration %d: %w", e.iter, err)
-		}
-		stats.SelectTime = time.Since(selStart)
-		if len(sel) == 0 {
-			return e.res, fmt.Errorf("core: strategy %q selected nothing at iteration %d", e.strat.Name(), e.iter)
-		}
-
-		globals := make([]int, len(sel))
-		seen := make(map[int]bool, len(sel))
-		for i, o := range sel {
-			if o < 0 || o >= remaining {
-				return e.res, fmt.Errorf("core: strategy %q returned out-of-range index %d", e.strat.Name(), o)
-			}
-			g := e.ordToGlobal(o)
-			if seen[g] {
-				return e.res, fmt.Errorf("core: strategy %q returned duplicate index %d", e.strat.Name(), o)
-			}
-			seen[g] = true
-			globals[i] = g
-		}
-		cfgs, err := e.fetchConfigs(globals)
-		if err != nil {
-			return e.res, fmt.Errorf("core: iteration %d: %w", e.iter, err)
-		}
-		// Selection-time model beliefs, for the guard and the selection
-		// record: PredictBatch rows are bit-identical to the values the
-		// scan's ScoreBatch produced for the same candidates.
-		selX := e.sp.EncodeAll(cfgs)
-		selMu, selSigma := e.model.PredictBatch(selX)
-
-		evalStart := time.Now()
-		for i, g := range globals {
-			e.markTaken(g)
-			cfg := cfgs[i]
-			y, rep, err := e.evalConfig(cfg, &stats)
-			if err != nil {
-				stats.EvalTime = time.Since(evalStart)
-				return e.res, fmt.Errorf("core: iteration %d: %w", e.iter, err)
-			}
-			if rep.skipped {
-				continue
-			}
-			if e.p.Guard.enabled() {
-				gy, quarantined, gerr := e.guardLabel(cfg, y, selMu[i], selSigma[i], &stats)
-				if gerr != nil {
-					stats.EvalTime = time.Since(evalStart)
-					return e.res, fmt.Errorf("core: iteration %d: label guard: %w", e.iter, gerr)
-				}
-				if quarantined {
-					continue
-				}
-				y = gy
-			}
-			e.res.TrainConfigs = append(e.res.TrainConfigs, cfg)
-			e.res.TrainY = append(e.res.TrainY, y)
-			e.labelSum += y
-			e.trainX = append(e.trainX, selX[i])
-			if e.p.RecordSelections {
-				e.res.Selections = append(e.res.Selections, Selection{
-					Config: cfg, Mu: selMu[i], Sigma: selSigma[i], Y: y, Iteration: e.iter,
-				})
-			}
-		}
-		stats.EvalTime = time.Since(evalStart)
-
-		fitStart := time.Now()
-		var ferr error
-		if u, ok := e.model.(Updatable); e.p.WarmUpdate && ok {
-			ferr = u.Update(e.trainX, e.res.TrainY, e.r.Split())
-		} else {
-			e.model, ferr = e.fitter(e.trainX, e.res.TrainY, e.features, e.r.Split())
-		}
-		if ferr != nil {
-			return e.res, fmt.Errorf("core: refit at iteration %d: %w", e.iter, ferr)
-		}
-		stats.FitTime = time.Since(fitStart)
-		stats.Samples = len(e.res.TrainY)
-		e.res.Model = e.model
-
-		if err := e.observe(stats); err != nil {
-			return e.res, err
-		}
-		if err := e.checkpoint(false); err != nil {
-			return e.res, err
-		}
-	}
-	return e.res, nil
 }
 
 // ResumeStream continues a streamed run from a Snapshot taken by
@@ -405,96 +212,26 @@ func ResumeStream(ctx context.Context, snap *Snapshot, src pool.Source, ev Evalu
 	if snap == nil {
 		return nil, fmt.Errorf("core: nil snapshot")
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: snapshot version %d, engine speaks %d", snap.Version, snapshotVersion)
+	if err := checkSnapshotVersion(snap.Version); err != nil {
+		return nil, err
 	}
 	if !snap.Streamed {
 		return nil, fmt.Errorf("core: snapshot was taken by an in-memory run; use Resume")
 	}
-	p := params.Normalized()
 	if src == nil {
 		return nil, fmt.Errorf("core: nil source")
 	}
-	sp := src.Space()
-	if sp == nil {
+	if src.Space() == nil {
 		return nil, fmt.Errorf("core: source has nil space")
 	}
 	if ev == nil || strat == nil {
 		return nil, fmt.Errorf("core: nil evaluator or strategy")
 	}
-	ss, ok := strat.(StreamStrategy)
-	if !ok {
-		return nil, fmt.Errorf("core: strategy %q does not support streaming selection", strat.Name())
-	}
-	if src.Len() != snap.PoolSize {
-		return nil, fmt.Errorf("core: source size %d does not match snapshot's %d", src.Len(), snap.PoolSize)
-	}
-	if h := src.Fingerprint(); h != snap.PoolHash {
-		return nil, fmt.Errorf("core: source fingerprint %#x does not match snapshot's %#x (different source or seed)", h, snap.PoolHash)
-	}
-	if len(snap.TrainConfigs) != len(snap.TrainY) {
-		return nil, fmt.Errorf("core: snapshot has %d configs but %d labels", len(snap.TrainConfigs), len(snap.TrainY))
-	}
-	if len(snap.TrainY) == 0 || len(snap.TrainY) > p.NMax {
-		return nil, fmt.Errorf("core: snapshot labeled-set size %d outside (0, NMax=%d]", len(snap.TrainY), p.NMax)
-	}
-	for i, g := range snap.Taken {
-		if g < 0 || g >= src.Len() {
-			return nil, fmt.Errorf("core: snapshot taken index %d out of source range", g)
-		}
-		if i > 0 && g <= snap.Taken[i-1] {
-			return nil, fmt.Errorf("core: snapshot taken set not sorted and unique at %d", i)
-		}
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-
-	r, err := rng.FromState(snap.RNG)
+	s, err := ResumeSession(snap, SessionConfig{
+		Source: src, Strategy: strat, Params: params, Observer: obs, Evaluator: ev,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: snapshot RNG: %w", err)
+		return nil, err
 	}
-	loader := p.ModelLoader
-	if loader == nil {
-		loader = defaultModelLoader
-	}
-	model, err := loader(snap.Model)
-	if err != nil {
-		return nil, fmt.Errorf("core: snapshot model: %w", err)
-	}
-	if snap.Evaluator != nil {
-		sev, ok := ev.(StatefulEvaluator)
-		if !ok {
-			return nil, fmt.Errorf("core: snapshot carries evaluator state but evaluator %T cannot restore it", ev)
-		}
-		if err := sev.RestoreEvaluatorState(*snap.Evaluator); err != nil {
-			return nil, fmt.Errorf("core: restoring evaluator state: %w", err)
-		}
-	}
-
-	e := &engine{
-		ctx: ctx, sp: sp, src: src, ev: ev, strat: strat, ss: ss, p: p, r: r, obs: obs,
-		res: &Result{
-			TrainConfigs: append([]space.Config(nil), snap.TrainConfigs...),
-			TrainY:       append([]float64(nil), snap.TrainY...),
-			Selections:   append([]Selection(nil), snap.Selections...),
-			Stats:        append([]IterStats(nil), snap.Stats...),
-			FailedCost:   snap.FailedCost,
-			GuardCost:    snap.GuardCost,
-			Iterations:   snap.Iteration,
-			Model:        model,
-		},
-	}
-	e.initStream()
-	defer e.captureRNG()
-	e.taken = append(e.taken[:0], snap.Taken...)
-	e.iter = snap.Iteration
-	e.model = model
-	for _, cfg := range snap.TrainConfigs {
-		e.trainX = append(e.trainX, e.sp.Encode(cfg))
-	}
-	for _, y := range snap.TrainY {
-		e.labelSum += y
-	}
-	return e.streamLoop()
+	return driveSession(ctx, s, ev)
 }

@@ -242,7 +242,7 @@ func TestFetchConfigsSequentialSource(t *testing.T) {
 	for src.Next(buf) == 1 {
 		all = append(all, buf[0].Clone())
 	}
-	e := &engine{sp: sp, src: src, p: Params{StreamShard: 7}.Normalized()}
+	e := &Session{sp: sp, src: src, p: Params{StreamShard: 7}.Normalized()}
 	globals := []int{59, 0, 17, 17, 3, 58}
 	got, err := e.fetchConfigs(globals)
 	if err != nil {

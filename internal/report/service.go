@@ -1,0 +1,59 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/server"
+)
+
+// Service renders a tuned daemon stats dump (the GET /stats payload,
+// e.g. `curl host:8080/stats > stats.json`) as a Markdown section.
+func Service(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var s server.Stats
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("report: parsing %s: %w", path, err)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "## Service\n\n")
+	fmt.Fprintf(bw, "Sessions: %d active, %d created, %d recovered, %d completed, %d deleted.\n\n",
+		s.Active, s.Created, s.Recovered, s.Completed, s.Deleted)
+
+	fmt.Fprintf(bw, "| Counter | Value |\n|---|---|\n")
+	rows := []struct {
+		name  string
+		value int64
+	}{
+		{"Asks", s.Asks},
+		{"Tells", s.Tells},
+		{"Labels ingested", s.Labels},
+		{"Tell replays (idempotent retransmits)", s.TellReplays},
+		{"Tell conflicts (stale cursors)", s.TellConflicts},
+		{"Guard: labels flagged", s.GuardFlagged},
+		{"Guard: labels quarantined", s.GuardQuarantined},
+		{"Rejected: tenant quota", s.QuotaRejections},
+		{"Rejected: capacity", s.CapacityRejections},
+		{"Rejected: malformed labels", s.BadLabels},
+		{"Recovery: checkpoints skipped", s.RecoverySkips},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(bw, "| %s | %d |\n", r.name, r.value)
+	}
+	bw.WriteString("\n")
+
+	if s.Tells > 0 {
+		fmt.Fprintf(bw, "Mean batch per tell: %.2f labels. ", float64(s.Labels)/float64(s.Tells))
+	}
+	if total := s.Tells + s.TellReplays; total > 0 {
+		fmt.Fprintf(bw, "Retransmission rate: %.1f%%.", 100*float64(s.TellReplays)/float64(total))
+	}
+	bw.WriteString("\n")
+	return bw.Flush()
+}

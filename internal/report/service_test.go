@@ -1,0 +1,47 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestServiceSection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stats.json")
+	dump := `{"active":3,"created":10,"recovered":2,"completed":7,"deleted":1,
+		"asks":120,"tells":90,"labels":300,"tell_replays":10,"tell_conflicts":2,
+		"guard_flagged":4,"guard_quarantined":3,"quota_rejections":1,
+		"capacity_rejections":0,"bad_labels":5,"recovery_skips":1}`
+	if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Service(path, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"## Service",
+		"3 active, 10 created, 2 recovered, 7 completed, 1 deleted",
+		"| Labels ingested | 300 |",
+		"| Guard: labels quarantined | 3 |",
+		"Mean batch per tell: 3.33 labels.",
+		"Retransmission rate: 10.0%.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("section missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	if err := Service(filepath.Join(t.TempDir(), "nope.json"), &strings.Builder{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if err := Service(bad, &strings.Builder{}); err == nil {
+		t.Fatal("malformed dump accepted")
+	}
+}

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// soakSessions is the concurrency scale of the soak test; override with
+// SOAK_SESSIONS. The default exercises >1000 live sessions.
+func soakSessions(t *testing.T) int {
+	if s := os.Getenv("SOAK_SESSIONS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("SOAK_SESSIONS=%q: %v", s, err)
+		}
+		return n
+	}
+	return 1024
+}
+
+// soakClient drives the handler directly (no TCP) so the soak test
+// measures the service, not the loopback stack.
+type soakClient struct {
+	h http.Handler
+}
+
+func (c *soakClient) do(method, path string, body, out any) (int, error) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return 0, err
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	c.h.ServeHTTP(rec, req)
+	if out != nil && rec.Code < 300 {
+		if err := json.NewDecoder(rec.Body).Decode(out); err != nil {
+			return rec.Code, fmt.Errorf("%s %s: %w", method, path, err)
+		}
+	}
+	return rec.Code, nil
+}
+
+// soakCreate is a deliberately tiny session so a thousand of them fit
+// in one test: pool 64, 4+2×3 labels, 4-tree forests.
+func soakCreate(tenant string, i int) *CreateRequest {
+	return &CreateRequest{
+		Tenant:   tenant,
+		Space:    testSpace(),
+		PoolSize: 64,
+		PoolSeed: uint64(1000 + i),
+		Seed:     uint64(2000 + i),
+		NInit:    4,
+		NBatch:   2,
+		NMax:     10,
+		Trees:    4,
+	}
+}
+
+// step asks once and tells the whole pending batch, optionally
+// retransmitting the tell to exercise idempotent replay. Returns done.
+func (c *soakClient) step(t *testing.T, id string, replay bool) (bool, error) {
+	var ask AskResponse
+	if code, err := c.do("POST", "/sessions/"+id+"/ask", nil, &ask); err != nil || code != http.StatusOK {
+		return false, fmt.Errorf("ask: code=%d err=%v", code, err)
+	}
+	if ask.Done {
+		return true, nil
+	}
+	req := &TellRequest{Batch: ask.Batch, Step: ask.Step, Labels: labelConfigs(ask.Configs)}
+	var tell TellResponse
+	if code, err := c.do("POST", "/sessions/"+id+"/tell", req, &tell); err != nil || code != http.StatusOK {
+		return false, fmt.Errorf("tell: code=%d err=%v", code, err)
+	}
+	if replay {
+		var again TellResponse
+		if code, err := c.do("POST", "/sessions/"+id+"/tell", req, &again); err != nil || code != http.StatusOK {
+			return false, fmt.Errorf("replay tell: code=%d err=%v", code, err)
+		}
+		if again != tell {
+			return false, fmt.Errorf("replay diverged: %+v vs %+v", again, tell)
+		}
+	}
+	return tell.Done, nil
+}
+
+// TestSoakConcurrentSessions floods one manager with >1000 concurrent
+// sessions under mixed behavior — run to completion, retransmit every
+// tell, abandon mid-batch, delete — then simulates a crash and has a
+// second manager adopt the survivors from their checkpoints and finish
+// them. Run under -race (make soak-server does); a goroutine-leak check
+// closes it out.
+func TestSoakConcurrentSessions(t *testing.T) {
+	n := soakSessions(t)
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+
+	m1 := NewManager(Config{
+		CheckpointDir:   dir,
+		CheckpointEvery: 2,
+		MaxSessions:     2 * n,
+		MaxPerTenant:    2 * n,
+	})
+	c1 := &soakClient{h: m1.Handler()}
+
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", i%8)
+			var created CreateResponse
+			code, err := c1.do("POST", "/sessions", soakCreate(tenant, i), &created)
+			if err != nil || code != http.StatusCreated {
+				errs <- fmt.Errorf("session %d: create code=%d err=%v", i, code, err)
+				return
+			}
+			ids[i] = created.ID
+			id := created.ID
+			switch i % 4 {
+			case 0: // run to completion
+				for {
+					done, err := c1.step(t, id, false)
+					if err != nil {
+						errs <- fmt.Errorf("session %s: %v", id, err)
+						return
+					}
+					if done {
+						return
+					}
+				}
+			case 1: // retransmit every tell, then complete
+				for {
+					done, err := c1.step(t, id, true)
+					if err != nil {
+						errs <- fmt.Errorf("session %s: %v", id, err)
+						return
+					}
+					if done {
+						return
+					}
+				}
+			case 2: // abandon mid-batch after the cold start
+				if _, err := c1.step(t, id, false); err != nil {
+					errs <- fmt.Errorf("session %s: %v", id, err)
+					return
+				}
+				var ask AskResponse
+				if code, err := c1.do("POST", "/sessions/"+id+"/ask", nil, &ask); err != nil || code != http.StatusOK {
+					errs <- fmt.Errorf("session %s: abandon ask code=%d err=%v", id, code, err)
+				}
+				// walk away with the batch outstanding
+			case 3: // partial progress, then delete
+				if _, err := c1.step(t, id, false); err != nil {
+					errs <- fmt.Errorf("session %s: %v", id, err)
+					return
+				}
+				if code, err := c1.do("DELETE", "/sessions/"+id, nil, nil); err != nil || code != http.StatusOK {
+					errs <- fmt.Errorf("session %s: delete code=%d err=%v", id, code, err)
+				}
+			}
+		}(i)
+	}
+	// Concurrent observers hammer the read endpoints while the fleet runs.
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		obs.Add(1)
+		go func() {
+			defer obs.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c1.do("GET", "/stats", nil, nil)
+				c1.do("GET", "/sessions", nil, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	s1 := m1.Stats()
+	if s1.Created != int64(n) || s1.Completed < int64(n/2) || s1.TellReplays == 0 {
+		t.Fatalf("wave-1 stats: %+v", s1)
+	}
+
+	// "Crash": drop m1 without drain. A fresh manager adopts everything
+	// still checkpointed (deleted sessions are gone) and finishes the
+	// abandoned ones — their interrupted batches are re-derived from the
+	// restored generators.
+	m2 := NewManager(Config{
+		CheckpointDir: dir,
+		MaxSessions:   2 * n,
+		MaxPerTenant:  2 * n,
+	})
+	adopted, err := m2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n - n/4 // i%4==3 deleted theirs
+	if adopted != want {
+		t.Fatalf("adopted %d sessions, want %d", adopted, want)
+	}
+	c2 := &soakClient{h: m2.Handler()}
+	errs2 := make(chan error, n)
+	var wg2 sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if i%4 == 3 || ids[i] == "" {
+			continue
+		}
+		wg2.Add(1)
+		go func(id string) {
+			defer wg2.Done()
+			for {
+				done, err := c2.step(t, id, false)
+				if err != nil {
+					errs2 <- fmt.Errorf("recovered %s: %v", id, err)
+					return
+				}
+				if done {
+					return
+				}
+			}
+		}(ids[i])
+	}
+	wg2.Wait()
+	close(errs2)
+	for err := range errs2 {
+		t.Error(err)
+	}
+	s2 := m2.Stats()
+	if s2.Recovered != int64(want) {
+		t.Fatalf("wave-2 stats: %+v", s2)
+	}
+
+	// Leak check: the handlers own no goroutines, so the count returns
+	// to the baseline once the drivers exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baseline+8 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s", g, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
