@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence session-equivalence soak-server bench bench-train bench-campaign bench-pool bench-pool-smoke figures figures-paper report examples clean
+.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence session-equivalence soak-server fleet-equivalence fleet-soak bench bench-train bench-campaign bench-campaign-smoke bench-pool bench-pool-smoke figures figures-paper report examples clean
 
 all: build check
 
@@ -9,12 +9,13 @@ build:
 
 # check is the pre-commit gate: static analysis, the full test suite
 # under the race detector (the forest/experiment layers are heavily
-# concurrent), the six equivalence gates (training engine, resume,
+# concurrent), the seven equivalence gates (training engine, resume,
 # campaign engine, streaming pool, quantized scoring, ask-tell
-# sessions), the chaos gates (fault-injection equivalence and the
-# mixed-fault race soak), the server soak, and a smoke-sized run of the
-# streaming-pool benchmark.
-check: vet race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence session-equivalence soak-server bench-pool-smoke
+# sessions, fleet drain), the chaos gates (fault-injection equivalence
+# and the mixed-fault race soaks, in-process and fleet), the server
+# soak, and smoke-sized runs of the streaming-pool and campaign
+# benchmarks.
+check: vet race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence session-equivalence soak-server fleet-equivalence fleet-soak bench-pool-smoke bench-campaign-smoke
 
 # train-equivalence gates the presorted-column training engine: the
 # builder-equivalence property tests (presorted vs reference builder must
@@ -99,6 +100,28 @@ session-equivalence:
 soak-server:
 	go test -race -run 'TestSoakConcurrentSessions|TestServer' ./internal/server
 
+# fleet-equivalence gates the distributed evaluation fleet: a campaign
+# drained through the lease-based coordinator by network workers — one,
+# two or four of them, chaos-ridden (hang/panic/corrupt injection) or
+# killed mid-lease — must produce curves bit-identical to the retained
+# RunAllSequential path for every strategy, because cell seeds derive
+# from (campaign seed, rep) and never from scheduling, results travel
+# as checksummed JSON, and the coordinator ingests at most one valid
+# payload per task key. The protocol layer (lease expiry, idempotent
+# completion, stale-lessee acceptance) and the remote evaluator's
+# noise-stream round trip are gated alongside.
+fleet-equivalence:
+	go test -race -run 'TestFleetCampaignMatchesLocal|TestFleetChaosEquivalence|TestFleetKilledMidLeaseEquivalence|TestFleetSchedulerStats|TestFleetRejectsCustomFitter|TestTuneRemoteMatchesLocal' ./internal/experiment ./internal/autotune
+	go test -race -run 'TestCoordinator|TestWorker|TestRemoteEvaluatorMatchesLocal|TestChaos|TestChecksum|TestParseWorkerChaos' ./internal/fleet
+
+# fleet-soak drains a campaign through a fleet of workers with mixed
+# process-level faults — crashes (killed and supervised back up),
+# hangs past the lease TTL, panics and payload corruption — under the
+# race detector, requiring bit-identical curves and zero goroutine
+# leaks once the drain completes.
+fleet-soak:
+	go test -race -run 'TestFleetSoakMixedFaults' ./internal/experiment
+
 vet:
 	go vet ./...
 
@@ -118,10 +141,23 @@ bench-train:
 	go test -bench 'TreeFit|ForestFit' -benchmem -run xxx .
 
 # Campaign-engine benchmarks: the work-stealing grid drain vs the
-# retained sequential path on a Fig. 2-shaped grid, plus the CSV writer.
+# retained sequential path vs the fleet drain (coordinator + two
+# network workers) on a Fig. 2-shaped grid, plus the CSV writer. Each
+# run appends mode=local and mode=fleet entries to BENCH_campaign.json
+# (schema: campaign_bench_test.go), the recorded trajectory that
+# bench-campaign-smoke guards against and
+# `go run ./cmd/report -bench-campaign BENCH_campaign.json` renders.
 bench-campaign:
-	go test -bench 'BenchmarkCampaignFig2' -benchmem -run xxx .
+	BENCH_CAMPAIGN_JSON=BENCH_campaign.json go test -bench 'BenchmarkCampaignFig2' -benchmem -run xxx .
 	go test -bench 'WriteCSV' -benchmem -run xxx ./internal/dataset
+
+# Smoke-sized bench-campaign for the check gate and CI: a two-kernel
+# grid, one iteration of the local and fleet drains — proves both
+# engines end to end in about a second and fails if either mode's
+# per-core ms/cell exceeds twice its most recent BENCH_campaign.json
+# entry (the 2x margin absorbs runner noise).
+bench-campaign-smoke:
+	CAMPAIGN_BENCH_PROBLEMS=2 CAMPAIGN_BENCH_BASELINE=BENCH_campaign.json go test -bench 'BenchmarkCampaignFig2$$|BenchmarkCampaignFig2Fleet$$' -benchmem -benchtime 1x -run xxx .
 
 # Streaming-pool benchmark: PWU-score a pool that is never materialized
 # (generate -> encode -> 64-tree score -> bounded top-k), on both the

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/calibration"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiment"
@@ -140,24 +141,31 @@ func BenchmarkFig2KernelRMSE(b *testing.B) {
 }
 
 // campaignFig2Problems is the Fig. 2 subset the campaign benchmarks
-// drain: four kernels, every strategy, figScale repetitions.
+// drain: the first CAMPAIGN_BENCH_PROBLEMS kernels (default four),
+// every strategy, figScale repetitions.
 func campaignFig2Problems(b *testing.B) []bench.Problem {
 	b.Helper()
+	n := campaignBenchProblems(b)
 	ks := bench.Kernels()
-	if len(ks) < 4 {
+	if len(ks) < n {
 		b.Fatalf("only %d kernels", len(ks))
 	}
-	return ks[:4]
+	return ks[:n]
 }
 
 // BenchmarkCampaignFig2 measures the campaign engine on a Fig. 2-shaped
 // grid: (4 kernels × 6 strategies × reps) drained by the work-stealing
 // pool with single-flight dataset sharing. Compare against
 // BenchmarkCampaignFig2Sequential — same grid, same bit-identical
-// curves, run strategy-by-strategy — for the engine's speedup.
+// curves, run strategy-by-strategy — for the engine's speedup, and
+// against BenchmarkCampaignFig2Fleet (campaign_bench_test.go) for the
+// fleet transport's overhead. Records a mode=local entry in the
+// BENCH_campaign.json trajectory.
 func BenchmarkCampaignFig2(b *testing.B) {
 	sc := figScale()
 	problems := campaignFig2Problems(b)
+	var st campaign.Stats
+	cells := 0
 	for i := 0; i < b.N; i++ {
 		items := make([]experiment.CampaignItem, len(problems))
 		for j, p := range problems {
@@ -169,10 +177,12 @@ func BenchmarkCampaignFig2(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(res.Scheduler.Utilization, "utilization")
 		b.ReportMetric(float64(res.Datasets.Hits), "dataset_cache_hits")
-		b.ReportMetric(float64(res.Scheduler.Steals), "steals")
+		st = res.Scheduler
+		cells = res.Scheduler.Tasks
 	}
+	b.StopTimer()
+	reportCampaign(b, "local", cells, st)
 }
 
 // BenchmarkCampaignFig2Sequential is the retained pre-campaign path over

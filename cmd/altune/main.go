@@ -40,6 +40,10 @@ func main() {
 	compare := flag.Bool("compare", false, "run all strategies and compare")
 	flag.Parse()
 
+	if err := cli.Fraction("-alpha", *alpha); err != nil {
+		cli.Fatalf("%v", err)
+	}
+
 	p, err := bench.ByName(*benchName)
 	if err != nil {
 		fatal(err)

@@ -37,6 +37,10 @@ func main() {
 	seed := flag.Uint64("seed", 42, "root seed")
 	flag.Parse()
 
+	if err := cli.PositiveInt("-labels", *labels); err != nil {
+		cli.Fatalf("%v", err)
+	}
+
 	p, err := bench.ByName(*benchName)
 	if err != nil {
 		fatal(err)

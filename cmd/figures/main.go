@@ -18,22 +18,34 @@
 // between iterations and serves checkpoint evaluations from the forest's
 // prediction cache (a different — faster — variant of Algorithm 1, not
 // the paper's cold refit).
+//
+// -remote host:port serves an embedded fleet coordinator on that
+// address and drains the campaigns through remote evald workers
+// instead of the in-process pool — the curves are bit-identical either
+// way (see the fleet-equivalence gate). Start workers with:
+//
+//	evald -coordinator host:port
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/experiment"
 	"repro/internal/figures"
+	"repro/internal/fleet"
 )
 
 func main() {
@@ -46,7 +58,17 @@ func main() {
 	seed := flag.Uint64("seed", 42, "root seed")
 	workers := flag.Int("workers", 0, "campaign worker pool size; 0 = GOMAXPROCS")
 	warm := flag.Bool("warm", false, "refit the surrogate incrementally and cache checkpoint evaluations")
+	remote := flag.String("remote", "", "serve a fleet coordinator on this host:port and drain campaigns through remote evald workers")
 	flag.Parse()
+
+	if err := cli.NonNegativeInt("-workers", *workers); err != nil {
+		cli.Fatalf("%v", err)
+	}
+	if *remote != "" {
+		if err := cli.ListenAddr("-remote", *remote); err != nil {
+			cli.Fatalf("%v", err)
+		}
+	}
 
 	var sc experiment.Scale
 	var appScale *experiment.Scale
@@ -90,6 +112,25 @@ func main() {
 		Apps:     bench.Applications(),
 		AppScale: appScale,
 		Workers:  *workers,
+	}
+
+	if *remote != "" {
+		coord := fleet.New(fleet.Config{Logf: log.New(os.Stderr, "fleet: ", log.LstdFlags).Printf})
+		defer coord.Close()
+		ln, err := net.Listen("tcp", *remote)
+		if err != nil {
+			fatal(fmt.Errorf("fleet listener: %w", err))
+		}
+		srv := &http.Server{Handler: coord.Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
+		fmt.Printf("fleet coordinator on %s; start workers with: evald -coordinator %s\n",
+			ln.Addr(), ln.Addr())
+		gen.Fleet = coord
 	}
 
 	artifacts := []struct {

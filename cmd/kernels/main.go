@@ -37,6 +37,10 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for -sample")
 	flag.Parse()
 
+	if err := cli.NonNegativeInt("-sample", *sample); err != nil {
+		cli.Fatalf("%v", err)
+	}
+
 	if *kernel == "" {
 		fmt.Printf("%-12s %8s %10s  %s\n", "kernel", "#params", "log10|S|", "description")
 		for _, k := range spapt.All() {

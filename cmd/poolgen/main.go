@@ -36,6 +36,13 @@ func main() {
 	dir := flag.String("dir", "pools", "output directory for -all")
 	flag.Parse()
 
+	if err := cli.FirstError(
+		cli.PositiveInt("-pool", *poolSize),
+		cli.PositiveInt("-test", *testSize),
+	); err != nil {
+		cli.Fatalf("%v", err)
+	}
+
 	if *all {
 		if err := os.MkdirAll(*dir, 0o755); err != nil {
 			fatal(err)

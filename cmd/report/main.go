@@ -1,7 +1,10 @@
 // Command report summarises a cmd/figures output directory as Markdown:
 // per-benchmark endpoints, PWU-vs-PBUS speedups and tuning results.
 // With -bench-pool it instead renders the latest recorded streaming-pool
-// benchmark entries (BENCH_pool.json, written by `make bench-pool`).
+// benchmark entries (BENCH_pool.json, written by `make bench-pool`);
+// with -bench-campaign, the campaign-drain trajectory
+// (BENCH_campaign.json, written by `make bench-campaign`) with the
+// fleet transport's overhead over the local drain.
 // With -service it renders a tuned daemon's /stats dump as a Service
 // section (`curl host:8080/stats > stats.json; report -service stats.json`).
 //
@@ -9,6 +12,7 @@
 //
 //	report [-dir out] [-o results.md]
 //	report -bench-pool BENCH_pool.json
+//	report -bench-campaign BENCH_campaign.json
 //	report -service stats.json
 package main
 
@@ -32,6 +36,7 @@ func main() {
 	dir := flag.String("dir", "out", "cmd/figures output directory")
 	out := flag.String("o", "", "write to file instead of stdout")
 	benchPool := flag.String("bench-pool", "", "render the latest entries of a bench-pool JSON trajectory instead")
+	benchCampaign := flag.String("bench-campaign", "", "render a bench-campaign JSON trajectory instead")
 	service := flag.String("service", "", "render a tuned daemon /stats dump instead")
 	flag.Parse()
 
@@ -46,6 +51,12 @@ func main() {
 	}
 	if *benchPool != "" {
 		if err := report.BenchPool(*benchPool, w); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchCampaign != "" {
+		if err := report.BenchCampaign(*benchCampaign, w); err != nil {
 			fatal(err)
 		}
 		return

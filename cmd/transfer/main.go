@@ -45,6 +45,10 @@ func main() {
 	seed := flag.Uint64("seed", 42, "root seed")
 	flag.Parse()
 
+	if err := cli.PositiveInt("-reps", *reps); err != nil {
+		cli.Fatalf("%v", err)
+	}
+
 	srcPlat, err := platformByName(*from)
 	if err != nil {
 		fatal(err)

@@ -24,12 +24,22 @@
 // cut off and retried like any transient failure. -chaos injects
 // deterministic faults into the model phase (see -h for the grammar),
 // for drilling the failure policy.
+//
+// -remote host:port serves an embedded fleet coordinator on that
+// address and offloads every real measurement (model, verify, and
+// baseline phases) to remote evald workers; the tuning trajectory is
+// bit-identical to a local run. Start workers with:
+//
+//	evald -coordinator host:port
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -41,6 +51,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/fleet"
 )
 
 func main() {
@@ -63,7 +74,26 @@ func main() {
 	shard := flag.Int("shard", 0, "candidates per scoring shard with -stream (0 = default 1024)")
 	timeout := flag.Duration("timeout", 0, "per-measurement deadline; a hung run is cut off and retried (0 = none)")
 	chaosSpec := flag.String("chaos", "", "fault-injection scenario for the model phase;\n"+chaos.Grammar)
+	remote := flag.String("remote", "", "serve a fleet coordinator on this host:port and offload measurements to remote evald workers")
 	flag.Parse()
+
+	if err := cli.FirstError(
+		cli.PositiveInt("-budget", *budget),
+		cli.PositiveInt("-search", *searchBudget),
+		cli.PositiveInt("-verify", *verify),
+		cli.PositiveInt("-every", *every),
+		cli.NonNegativeInt("-retries", *retries),
+		cli.NonNegativeInt("-pool", *poolSize),
+		cli.NonNegativeInt("-shard", *shard),
+		cli.NonNegativeDuration("-timeout", *timeout),
+	); err != nil {
+		cli.Fatalf("%v", err)
+	}
+	if *remote != "" {
+		if err := cli.ListenAddr("-remote", *remote); err != nil {
+			cli.Fatalf("%v", err)
+		}
+	}
 
 	p, err := bench.ByName(*benchName)
 	if err != nil {
@@ -95,6 +125,25 @@ func main() {
 	}
 	cfg.Logf = func(format string, args ...interface{}) {
 		fmt.Fprintf(os.Stderr, "tune: "+format+"\n", args...)
+	}
+
+	if *remote != "" {
+		coord := fleet.New(fleet.Config{Logf: log.New(os.Stderr, "fleet: ", log.LstdFlags).Printf})
+		defer coord.Close()
+		ln, err := net.Listen("tcp", *remote)
+		if err != nil {
+			fatal(fmt.Errorf("fleet listener: %w", err))
+		}
+		srv := &http.Server{Handler: coord.Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
+		fmt.Printf("fleet coordinator on %s; start workers with: evald -coordinator %s\n",
+			ln.Addr(), ln.Addr())
+		cfg.Remote = coord
 	}
 
 	fmt.Printf("tuning %s (%s)\n", p.Name(), p.Description())

@@ -46,6 +46,17 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	flag.Parse()
 
+	if err := cli.FirstError(
+		cli.ListenAddr("-addr", *addr),
+		cli.NonNegativeInt("-max-sessions", *maxSessions),
+		cli.NonNegativeInt("-max-per-tenant", *maxPerTenant),
+		cli.PositiveInt("-every", *every),
+		cli.NonNegativeInt("-trees", *trees),
+		cli.PositiveDuration("-drain-timeout", *drainTimeout),
+	); err != nil {
+		cli.Fatalf("%v", err)
+	}
+
 	logger := log.New(os.Stderr, "tuned: ", log.LstdFlags)
 	if err := run(*addr, *dir, *maxSessions, *maxPerTenant, *every, *trees, *drainTimeout, logger); err != nil {
 		logger.Printf("exiting: %v", err)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/forest"
 	"repro/internal/metrics"
 	"repro/internal/pool"
@@ -111,6 +112,15 @@ type Config struct {
 	// e.g. a corrupt checkpoint being discarded for a cold start. Nil
 	// discards them.
 	Logf func(format string, args ...interface{})
+
+	// Remote, when set, offloads every real measurement — model-phase
+	// labels, verification runs, the baseline — to fleet workers
+	// through this coordinator. The local evaluator stays as the
+	// noise-stream mirror (see fleet.RemoteEvaluator), so the outcome
+	// is bit-identical to a local run; model-phase ask batches travel
+	// as one task each. Chaos composes: the injector wraps the remote
+	// evaluator exactly as it wraps a local one.
+	Remote *fleet.Coordinator
 }
 
 // logf emits a recoverable-warning line when a sink is configured.
@@ -183,7 +193,13 @@ func Tune(ctx context.Context, p bench.Problem, cfg Config, seed uint64) (*Outco
 	}
 	r := rng.New(seed)
 	sp := p.Space()
-	ev := bench.Evaluator(p, r.Split())
+	var ev core.Evaluator = bench.Evaluator(p, r.Split())
+	if cfg.Remote != nil {
+		ev, err = fleet.NewRemoteEvaluator(cfg.Remote, p.Name(), ev)
+		if err != nil {
+			return nil, fmt.Errorf("autotune: %w", err)
+		}
+	}
 
 	// Phase 1: surrogate via PWU active learning. Every input below is
 	// regenerated deterministically from the seed, which is what lets a

@@ -1,0 +1,72 @@
+package autotune
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/experiment"
+	"repro/internal/fleet"
+)
+
+// TestTuneRemoteMatchesLocal offloads every measurement — model,
+// verification and baseline phases — to a fleet worker and requires the
+// outcome to equal the local run exactly: the remote evaluator carries
+// the noise-stream state back and forth, so where a label is computed
+// never changes its value.
+func TestTuneRemoteMatchesLocal(t *testing.T) {
+	p, err := bench.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	local, err := Tune(context.Background(), p, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := fleet.New(fleet.Config{
+		LeaseTTL:  500 * time.Millisecond,
+		Heartbeat: 100 * time.Millisecond,
+		Poll:      5 * time.Millisecond,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &fleet.Worker{Coordinator: srv.URL, Name: "tune-test", Runner: experiment.NewFleetRunner(), Logf: t.Logf}
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.Run(ctx) }()
+
+	rcfg := cfg
+	rcfg.Remote = coord
+	remote, err := Tune(context.Background(), p, rcfg, 9)
+	if err != nil {
+		t.Fatalf("remote tune: %v", err)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Errorf("worker exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain")
+	}
+	srv.Close()
+	coord.Close()
+
+	if !reflect.DeepEqual(remote.Best, local.Best) {
+		t.Errorf("Best diverged: remote %v, local %v", remote.Best, local.Best)
+	}
+	if remote.BestMeasured != local.BestMeasured ||
+		remote.BaselineMeasured != local.BaselineMeasured ||
+		remote.Speedup != local.Speedup ||
+		remote.ModelCost != local.ModelCost ||
+		remote.RealRuns != local.RealRuns ||
+		remote.PredictedBest != local.PredictedBest {
+		t.Errorf("outcome diverged:\nremote %+v\nlocal  %+v", remote, local)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 )
 
 func TestExitCode(t *testing.T) {
@@ -25,4 +26,136 @@ func TestExitCode(t *testing.T) {
 			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
 		}
 	}
+}
+
+func TestIntValidators(t *testing.T) {
+	cases := []struct {
+		fn   func(string, int) error
+		name string
+		v    int
+		ok   bool
+	}{
+		{PositiveInt, "-shard", 1, true},
+		{PositiveInt, "-shard", 1024, true},
+		{PositiveInt, "-shard", 0, false},
+		{PositiveInt, "-every", -3, false},
+		{NonNegativeInt, "-workers", 0, true},
+		{NonNegativeInt, "-workers", 8, true},
+		{NonNegativeInt, "-workers", -1, false},
+	}
+	for _, c := range cases {
+		err := c.fn(c.name, c.v)
+		if (err == nil) != c.ok {
+			t.Errorf("validator(%s, %d): err = %v, want ok=%v", c.name, c.v, err, c.ok)
+		}
+		if err != nil && !contains(err.Error(), c.name) {
+			t.Errorf("error %q does not name the flag %s", err, c.name)
+		}
+	}
+}
+
+func TestDurationValidators(t *testing.T) {
+	cases := []struct {
+		fn   func(string, time.Duration) error
+		name string
+		v    time.Duration
+		ok   bool
+	}{
+		{PositiveDuration, "-drain-timeout", time.Second, true},
+		{PositiveDuration, "-drain-timeout", 0, false},
+		{PositiveDuration, "-drain-timeout", -time.Second, false},
+		{NonNegativeDuration, "-timeout", 0, true},
+		{NonNegativeDuration, "-timeout", time.Minute, true},
+		{NonNegativeDuration, "-timeout", -time.Millisecond, false},
+	}
+	for _, c := range cases {
+		err := c.fn(c.name, c.v)
+		if (err == nil) != c.ok {
+			t.Errorf("validator(%s, %v): err = %v, want ok=%v", c.name, c.v, err, c.ok)
+		}
+	}
+}
+
+func TestFraction(t *testing.T) {
+	cases := []struct {
+		v  float64
+		ok bool
+	}{
+		{0.05, true}, {1, true}, {0, false}, {-0.1, false}, {1.5, false},
+	}
+	for _, c := range cases {
+		if err := Fraction("-alpha", c.v); (err == nil) != c.ok {
+			t.Errorf("Fraction(%g): err = %v, want ok=%v", c.v, err, c.ok)
+		}
+	}
+}
+
+func TestListenAddr(t *testing.T) {
+	cases := []struct {
+		addr string
+		ok   bool
+	}{
+		{":8080", true},
+		{"localhost:9090", true},
+		{"127.0.0.1:0", true},
+		{"", false},
+		{"localhost", false},
+		{"http://localhost:9090", false},
+	}
+	for _, c := range cases {
+		if err := ListenAddr("-addr", c.addr); (err == nil) != c.ok {
+			t.Errorf("ListenAddr(%q): err = %v, want ok=%v", c.addr, err, c.ok)
+		}
+	}
+}
+
+func TestRemoteURL(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want string // "" means error expected
+	}{
+		{"localhost:9090", "http://localhost:9090"},
+		{"http://localhost:9090", "http://localhost:9090"},
+		{"https://coord.example:443", "https://coord.example:443"},
+		{"http://localhost:9090/", "http://localhost:9090"},
+		{"", ""},
+		{"localhost", ""},                   // no port
+		{"ftp://localhost:9090", ""},        // bad scheme
+		{"http://localhost:9090/fleet", ""}, // path not allowed
+	}
+	for _, c := range cases {
+		got, err := RemoteURL("-remote", c.raw)
+		if c.want == "" {
+			if err == nil {
+				t.Errorf("RemoteURL(%q) = %q, want error", c.raw, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("RemoteURL(%q): unexpected error %v", c.raw, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("RemoteURL(%q) = %q, want %q", c.raw, got, c.want)
+		}
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	e1, e2 := errors.New("one"), errors.New("two")
+	if got := FirstError(nil, nil); got != nil {
+		t.Errorf("FirstError(nil, nil) = %v", got)
+	}
+	if got := FirstError(nil, e1, e2); got != e1 {
+		t.Errorf("FirstError = %v, want %v", got, e1)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
 }

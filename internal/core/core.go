@@ -51,6 +51,17 @@ type Evaluator interface {
 	Evaluate(ctx context.Context, c space.Config) (float64, error)
 }
 
+// BatchEvaluator is an optional Evaluator capability: measure several
+// configurations in one call, in order, as if Evaluate had been called
+// on each — same stream, same values. The session driver uses it to
+// label a whole ask batch at once, which matters when each call is a
+// network round trip (see fleet.RemoteEvaluator); it never changes the
+// measurements, only how many trips deliver them.
+type BatchEvaluator interface {
+	Evaluator
+	EvaluateBatch(ctx context.Context, cfgs []space.Config) ([]Label, error)
+}
+
 // EvaluatorFunc adapts a function to the Evaluator interface.
 type EvaluatorFunc func(ctx context.Context, c space.Config) (float64, error)
 

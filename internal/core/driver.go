@@ -114,16 +114,41 @@ func (lb *labeler) attempt(ctx context.Context, cfg space.Config) (y float64, er
 // guard-inserted re-measurements stay aligned), Tell each label back.
 // On errors that interrupt the run midway the partial Result is
 // returned alongside the error, exactly like the historical loops.
+//
+// A BatchEvaluator with the label guard disabled takes the batch fast
+// path: the whole pending queue is measured as one call — one network
+// round trip per ask batch when the evaluator is remote — and told
+// back at once. The per-config order inside the batch matches the
+// sequential path exactly, so the measurement stream is bit-identical.
+// With the guard enabled the driver stays on the per-config path:
+// guard-inserted re-measurements must be measured immediately after
+// the flag, before any later queue item consumes the stream.
 func driveSession(ctx context.Context, s *Session, ev Evaluator) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	lb := &labeler{ev: ev, pol: s.p.Failure}
+	be, isBatch := ev.(BatchEvaluator)
+	useBatch := isBatch && !s.p.Guard.enabled()
 	for !s.Done() {
 		if _, err := s.Ask(ctx); err != nil {
 			return s.Result(), err
 		}
 		for len(s.queue) > 0 {
+			if useBatch {
+				cfgs := make([]space.Config, len(s.queue))
+				for i := range s.queue {
+					cfgs[i] = s.queue[i].cfg
+				}
+				labels, err := be.EvaluateBatch(ctx, cfgs)
+				if err != nil {
+					return s.Result(), s.evalError(err)
+				}
+				if _, err := s.Tell(ctx, labels); err != nil {
+					return s.Result(), err
+				}
+				continue
+			}
 			l, err := lb.label(ctx, s.queue[0].cfg)
 			if err != nil {
 				s.billFailed(l.FailedCost)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/campaign"
 	"repro/internal/experiment"
+	"repro/internal/fleet"
 	"repro/internal/machine"
 	"repro/internal/rng"
 	"repro/internal/spapt"
@@ -46,6 +47,13 @@ type Generator struct {
 	// Workers bounds the campaign engine's worker pool; <= 0 means
 	// GOMAXPROCS.
 	Workers int
+
+	// Fleet, when non-nil, drains campaigns through this coordinator's
+	// registered remote workers (experiment.RunCampaignFleet) instead
+	// of the in-process scheduler. Curves are bit-identical either
+	// way; only the telemetry changes meaning (steals become lease
+	// re-queues, the dataset cache lives per worker).
+	Fleet *fleet.Coordinator
 
 	// curve cache: benchmark name -> per-strategy curves.
 	curves map[string][]*experiment.CurveSet
@@ -102,9 +110,18 @@ func (g *Generator) ensureCurves(problems []bench.Problem) error {
 	}
 	fmt.Fprintf(g.Stdout, "    campaign: %d problems x %d strategies (%d tasks)...\n",
 		len(items), len(strategies), tasks)
-	res, err := experiment.RunCampaign(g.ctx(), experiment.Campaign{
+	camp := experiment.Campaign{
 		Items: items, Strategies: strategies, Seed: g.Seed, Workers: g.Workers,
-	})
+	}
+	var (
+		res *experiment.CampaignResult
+		err error
+	)
+	if g.Fleet != nil {
+		res, err = experiment.RunCampaignFleet(g.ctx(), camp, g.Fleet)
+	} else {
+		res, err = experiment.RunCampaign(g.ctx(), camp)
+	}
 	if res != nil {
 		g.sched.Add(res.Scheduler)
 		g.dstats.Add(res.Datasets)

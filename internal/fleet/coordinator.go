@@ -1,0 +1,592 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config tunes the coordinator's failure detection. The defaults suit
+// real fleets (seconds-long leases); tests shrink them to milliseconds
+// to force lease bounces quickly.
+type Config struct {
+	// LeaseTTL is how long a lease (and a worker's registration) stays
+	// valid without a heartbeat; <= 0 defaults to 15s. A worker that
+	// goes silent for a TTL loses its leases back to the queue.
+	LeaseTTL time.Duration
+
+	// Heartbeat is the beat interval advertised to workers; <= 0
+	// defaults to LeaseTTL/3.
+	Heartbeat time.Duration
+
+	// Poll is the idle lease-poll interval advertised to workers; <= 0
+	// defaults to 200ms.
+	Poll time.Duration
+
+	// MaxAttempts bounds lease grants per task before it is failed
+	// permanently; <= 0 defaults to 5. Each expiry, worker-reported
+	// failure or corrupt completion consumes one attempt.
+	MaxAttempts int
+
+	// Logf, when set, receives coordinator events (expiries, re-queues,
+	// rejected payloads).
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) leaseTTL() time.Duration {
+	if c.LeaseTTL <= 0 {
+		return 15 * time.Second
+	}
+	return c.LeaseTTL
+}
+
+func (c Config) heartbeat() time.Duration {
+	if c.Heartbeat <= 0 {
+		return c.leaseTTL() / 3
+	}
+	return c.Heartbeat
+}
+
+func (c Config) poll() time.Duration {
+	if c.Poll <= 0 {
+		return 200 * time.Millisecond
+	}
+	return c.Poll
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 5
+	}
+	return c.MaxAttempts
+}
+
+// Stats is a snapshot of the coordinator's counters.
+type Stats struct {
+	// Workers is the live worker count; PeakWorkers the maximum seen;
+	// Registered the lifetime registration count (a worker that
+	// re-registers after an expiry counts again).
+	Workers     int   `json:"workers"`
+	PeakWorkers int   `json:"peak_workers"`
+	Registered  int64 `json:"registered"`
+
+	// Queued and Leased count live tasks by state.
+	Queued int `json:"queued"`
+	Leased int `json:"leased"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+
+	// Requeues counts leases that bounced back to the queue (expiry,
+	// worker-reported failure, corrupt payload); Expired the subset
+	// caused by lease/worker timeouts; Duplicates the completions
+	// dropped because the task had already finished; Corrupt the
+	// payloads rejected by checksum.
+	Requeues   int64 `json:"requeues"`
+	Expired    int64 `json:"expired"`
+	Duplicates int64 `json:"duplicates"`
+	Corrupt    int64 `json:"corrupt"`
+
+	// Busy sums worker-reported execution time over accepted
+	// completions — the fleet analogue of campaign.Stats.Busy.
+	Busy time.Duration `json:"busy_ns"`
+}
+
+// Completion statuses returned to workers.
+const (
+	StatusAccepted  = "accepted"
+	StatusDuplicate = "duplicate"
+	StatusCorrupt   = "corrupt"
+	StatusUnknown   = "unknown"
+	StatusRequeued  = "requeued"
+	StatusFailed    = "failed"
+	StatusStale     = "stale"
+)
+
+// ErrUnknownWorker is returned for a worker id the coordinator does not
+// know — never registered, expired, or deregistered. The HTTP layer
+// maps it to 404 and workers respond by re-registering.
+var ErrUnknownWorker = errors.New("fleet: unknown worker")
+
+// ErrClosed is returned once the coordinator has shut down.
+var ErrClosed = errors.New("fleet: coordinator closed")
+
+type taskState int
+
+const (
+	taskQueued taskState = iota
+	taskLeased
+	taskFinished
+)
+
+type task struct {
+	spec     TaskSpec
+	job      *Job
+	state    taskState
+	attempts int
+	worker   string // current lessee while leased
+	deadline time.Time
+	res      TaskResult
+}
+
+type workerState struct {
+	id       string
+	name     string
+	deadline time.Time
+	leases   map[string]*task
+}
+
+// Coordinator owns the task queue and the lease table. It is a plain
+// library — embed it in any process (cmd/figures and cmd/tune serve it
+// next to their own work; tests drive it in-process) and expose
+// Handler() to the fleet.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	tasks   map[string]*task
+	queue   []*task
+	workers map[string]*workerState
+	nextID  int64
+	closed  bool
+	st      Stats
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New starts a coordinator and its lease sweeper.
+func New(cfg Config) *Coordinator {
+	c := &Coordinator{
+		cfg:     cfg,
+		tasks:   make(map[string]*task),
+		workers: make(map[string]*workerState),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.sweep()
+	return c
+}
+
+// Close shuts the coordinator down: pending tasks fail, waiting jobs
+// unblock, the sweeper exits. Safe to call once.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, t := range c.tasks {
+		if t.state != taskFinished {
+			c.finishLocked(t, TaskResult{Failed: "coordinator closed"})
+		}
+	}
+	c.mu.Unlock()
+	close(c.stop)
+	<-c.done
+}
+
+func (c *Coordinator) logf(format string, args ...interface{}) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// sweep expires silent workers and overdue leases. The tick is a
+// fraction of the TTL so an expiry is detected within ~1.25 TTLs.
+func (c *Coordinator) sweep() {
+	defer close(c.done)
+	tick := c.cfg.leaseTTL() / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	tk := time.NewTicker(tick)
+	defer tk.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-tk.C:
+			c.expire(now)
+		}
+	}
+}
+
+func (c *Coordinator) expire(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, w := range c.workers {
+		if now.After(w.deadline) {
+			c.logf("fleet: worker %s (%s) lost: no heartbeat in %v, %d leases re-queued",
+				id, w.name, c.cfg.leaseTTL(), len(w.leases))
+			for _, t := range w.leases {
+				c.st.Expired++
+				c.requeueLocked(t, "worker lost")
+			}
+			delete(c.workers, id)
+			continue
+		}
+		for key, t := range w.leases {
+			if now.After(t.deadline) {
+				c.logf("fleet: lease %s on worker %s expired", key, id)
+				delete(w.leases, key)
+				c.st.Expired++
+				c.requeueLocked(t, "lease expired")
+			}
+		}
+	}
+}
+
+// requeueLocked returns a bounced lease to the queue, or fails the task
+// permanently once its attempts are exhausted. Callers must have
+// removed the task from its lessee's lease map.
+func (c *Coordinator) requeueLocked(t *task, cause string) {
+	if t.state != taskLeased {
+		return
+	}
+	if t.attempts >= c.cfg.maxAttempts() {
+		c.finishLocked(t, TaskResult{
+			Failed: fmt.Sprintf("%s; %d attempts exhausted", cause, t.attempts),
+		})
+		return
+	}
+	t.state = taskQueued
+	t.worker = ""
+	c.queue = append(c.queue, t)
+	c.st.Requeues++
+}
+
+// finishLocked records a task's terminal result and notifies its job.
+func (c *Coordinator) finishLocked(t *task, res TaskResult) {
+	if t.state == taskFinished {
+		return
+	}
+	if t.state == taskLeased {
+		if w := c.workers[t.worker]; w != nil {
+			delete(w.leases, t.spec.Key)
+		}
+	}
+	res.Key = t.spec.Key
+	res.Attempts = t.attempts
+	t.state = taskFinished
+	t.res = res
+	if res.Failed != "" {
+		c.st.Failed++
+	} else {
+		c.st.Completed++
+		c.st.Busy += res.Elapsed
+	}
+	t.job.taskDone()
+}
+
+// Register admits a worker and returns its id plus the lease timing
+// parameters it must honor.
+func (c *Coordinator) Register(name string) (string, Config, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return "", Config{}, ErrClosed
+	}
+	c.nextID++
+	id := fmt.Sprintf("w%d", c.nextID)
+	c.workers[id] = &workerState{
+		id: id, name: name,
+		deadline: time.Now().Add(c.cfg.leaseTTL()),
+		leases:   make(map[string]*task),
+	}
+	c.st.Registered++
+	if len(c.workers) > c.st.PeakWorkers {
+		c.st.PeakWorkers = len(c.workers)
+	}
+	c.logf("fleet: worker %s (%s) registered", id, name)
+	return id, Config{
+		LeaseTTL:  c.cfg.leaseTTL(),
+		Heartbeat: c.cfg.heartbeat(),
+		Poll:      c.cfg.poll(),
+	}, nil
+}
+
+// Deregister removes a worker after a graceful drain. Any lease it
+// still holds (it should hold none) bounces back to the queue.
+func (c *Coordinator) Deregister(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[id]
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	for _, t := range w.leases {
+		c.requeueLocked(t, "worker deregistered")
+	}
+	delete(c.workers, id)
+	c.logf("fleet: worker %s (%s) deregistered", id, w.name)
+	return nil
+}
+
+// Lease hands the worker the oldest queued task, or nil when the queue
+// is empty. A lease counts one attempt and must be renewed by
+// heartbeat within the TTL.
+func (c *Coordinator) Lease(workerID string) (*TaskSpec, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	w := c.workers[workerID]
+	if w == nil {
+		return nil, ErrUnknownWorker
+	}
+	now := time.Now()
+	w.deadline = now.Add(c.cfg.leaseTTL())
+	for len(c.queue) > 0 {
+		t := c.queue[0]
+		c.queue = c.queue[1:]
+		if t.state != taskQueued {
+			continue // finished while queued (job canceled)
+		}
+		t.state = taskLeased
+		t.attempts++
+		t.worker = workerID
+		t.deadline = now.Add(c.cfg.leaseTTL())
+		w.leases[t.spec.Key] = t
+		spec := t.spec
+		return &spec, nil
+	}
+	return nil, nil
+}
+
+// Heartbeat renews the worker's registration and the named leases. The
+// returned drop list names leases the worker no longer holds —
+// expired and re-assigned, or canceled — so it can abandon the
+// duplicated work instead of finishing it.
+func (c *Coordinator) Heartbeat(workerID string, keys []string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerID]
+	if w == nil {
+		return nil, ErrUnknownWorker
+	}
+	now := time.Now()
+	w.deadline = now.Add(c.cfg.leaseTTL())
+	var drop []string
+	for _, key := range keys {
+		t := c.tasks[key]
+		if t != nil && t.state == taskLeased && t.worker == workerID {
+			t.deadline = now.Add(c.cfg.leaseTTL())
+			continue
+		}
+		drop = append(drop, key)
+	}
+	return drop, nil
+}
+
+// Complete ingests one result. Ingestion is idempotent on the task
+// key: the first checksum-valid payload finishes the task, later
+// completions — a lease that bounced mid-flight and both executions
+// reported — are dropped as duplicates, never double-counted. A
+// checksum mismatch rejects the payload; if it came from the current
+// lessee the lease bounces so another attempt can produce clean bytes.
+//
+// A valid payload is accepted even from a stale lessee: tasks are
+// deterministic, so the bytes are the ones any attempt would produce.
+func (c *Coordinator) Complete(workerID, key string, payload json.RawMessage, sum uint64, elapsed time.Duration) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[workerID]; w != nil {
+		w.deadline = time.Now().Add(c.cfg.leaseTTL())
+		delete(w.leases, key)
+	}
+	t := c.tasks[key]
+	if t == nil {
+		return StatusUnknown, nil
+	}
+	if t.state == taskFinished {
+		c.st.Duplicates++
+		return StatusDuplicate, nil
+	}
+	if Checksum(payload) != sum {
+		c.st.Corrupt++
+		c.logf("fleet: task %s: corrupt payload from worker %s rejected", key, workerID)
+		if t.state == taskLeased && t.worker == workerID {
+			c.requeueLocked(t, "corrupt payload")
+		}
+		return StatusCorrupt, nil
+	}
+	if t.state == taskLeased && t.worker != workerID {
+		// Stale lessee finished first; the current one will learn via
+		// its heartbeat drop list or land here as a duplicate.
+		if w := c.workers[t.worker]; w != nil {
+			delete(w.leases, key)
+		}
+	}
+	c.finishLocked(t, TaskResult{Payload: payload, Worker: workerID, Elapsed: elapsed})
+	return StatusAccepted, nil
+}
+
+// Fail records a worker-reported execution failure (an injected or
+// real panic in the runner). The lease bounces; attempts exhausted
+// fail the task permanently.
+func (c *Coordinator) Fail(workerID, key, msg string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[workerID]; w != nil {
+		w.deadline = time.Now().Add(c.cfg.leaseTTL())
+		delete(w.leases, key)
+	}
+	t := c.tasks[key]
+	if t == nil || t.state == taskFinished {
+		return StatusStale, nil
+	}
+	if t.state == taskLeased && t.worker != workerID {
+		return StatusStale, nil
+	}
+	c.logf("fleet: task %s failed on worker %s: %s", key, workerID, msg)
+	c.requeueLocked(t, fmt.Sprintf("worker error: %s", msg))
+	if t.state == taskFinished {
+		return StatusFailed, nil
+	}
+	return StatusRequeued, nil
+}
+
+// Stats snapshots the counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.st
+	st.Workers = len(c.workers)
+	for _, t := range c.tasks {
+		switch t.state {
+		case taskQueued:
+			st.Queued++
+		case taskLeased:
+			st.Leased++
+		}
+	}
+	return st
+}
+
+// Job tracks one Submit's tasks until they all finish.
+type Job struct {
+	c         *Coordinator
+	keys      []string
+	remaining int
+	mu        sync.Mutex
+	done      chan struct{}
+	released  bool
+}
+
+func (j *Job) taskDone() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.remaining--
+	if j.remaining == 0 {
+		close(j.done)
+	}
+}
+
+// Submit enqueues specs as one job, FIFO behind whatever is already
+// queued. Keys must be unique among the coordinator's live tasks; a
+// job's keys are released when its Wait returns, so re-submitting the
+// same coordinates later (a re-run campaign) is fine.
+func (c *Coordinator) Submit(specs []TaskSpec) (*Job, error) {
+	j := &Job{c: c, remaining: len(specs), done: make(chan struct{})}
+	if len(specs) == 0 {
+		close(j.done)
+		return j, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := c.tasks[specs[i].Key]; dup {
+			return nil, fmt.Errorf("fleet: duplicate task key %q", specs[i].Key)
+		}
+	}
+	for i := range specs {
+		t := &task{spec: specs[i], job: j, state: taskQueued}
+		c.tasks[t.spec.Key] = t
+		c.queue = append(c.queue, t)
+		j.keys = append(j.keys, t.spec.Key)
+	}
+	c.st.Submitted += int64(len(specs))
+	return j, nil
+}
+
+// Wait blocks until every task of the job finished, then returns the
+// results in submission order. Cancelling ctx fails the job's
+// unfinished tasks ("canceled"), drops their leases at the workers'
+// next heartbeat, and returns the partial results with ctx's error.
+// Either way the job's keys are released for re-submission.
+func (j *Job) Wait(ctx context.Context) ([]TaskResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var werr error
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		werr = ctx.Err()
+		j.cancel()
+	}
+	return j.collect(), werr
+}
+
+// cancel fails every unfinished task of the job.
+func (j *Job) cancel() {
+	c := j.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, key := range j.keys {
+		if t := c.tasks[key]; t != nil && t.state != taskFinished {
+			c.finishLocked(t, TaskResult{Failed: "canceled"})
+		}
+	}
+}
+
+// collect gathers the results and releases the job's keys.
+func (j *Job) collect() []TaskResult {
+	c := j.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]TaskResult, 0, len(j.keys))
+	for _, key := range j.keys {
+		t := c.tasks[key]
+		if t == nil {
+			continue // released by an earlier Wait
+		}
+		out = append(out, t.res)
+		if !j.released {
+			delete(c.tasks, key)
+		}
+	}
+	j.released = true
+	return out
+}
+
+// LiveKeys lists the unfinished task keys, oldest submission first —
+// a diagnostic view for the stats endpoint.
+func (c *Coordinator) LiveKeys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var keys []string
+	for key, t := range c.tasks {
+		if t.state != taskFinished {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

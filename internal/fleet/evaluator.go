@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// RemoteEvaluator offloads an evaluator's measurements to the fleet as
+// batched EvalTasks while keeping the local evaluator as the state
+// mirror: each batch ships the mirror's exported noise-stream state,
+// the worker measures from exactly that position, and the returned
+// final state is restored locally. The stream therefore advances
+// bit-identically to in-process evaluation, so checkpoints, resumes
+// and any later local measurements are unaffected by where the labels
+// were computed.
+//
+// It implements core.BatchEvaluator (the session driver sends a whole
+// ask batch as one task) and core.StatefulEvaluator (delegated to the
+// mirror, so snapshotting keeps working).
+type RemoteEvaluator struct {
+	coord   *Coordinator
+	problem string
+	inner   core.StatefulEvaluator
+
+	mu  sync.Mutex // serializes state export/restore around a task
+	seq atomic.Int64
+}
+
+// NewRemoteEvaluator wraps inner, which must export its generator
+// state (core.StatefulEvaluator) — without that the fleet could not
+// resume the measurement stream where the local engine left it.
+func NewRemoteEvaluator(coord *Coordinator, problem string, inner core.Evaluator) (*RemoteEvaluator, error) {
+	st, ok := inner.(core.StatefulEvaluator)
+	if !ok {
+		return nil, fmt.Errorf("fleet: evaluator for %s does not export state; cannot offload to the fleet", problem)
+	}
+	if coord == nil {
+		return nil, errors.New("fleet: nil coordinator")
+	}
+	return &RemoteEvaluator{coord: coord, problem: problem, inner: st}, nil
+}
+
+// Evaluate measures one configuration remotely (a batch of one).
+func (e *RemoteEvaluator) Evaluate(ctx context.Context, cfg space.Config) (float64, error) {
+	labels, err := e.EvaluateBatch(ctx, []space.Config{cfg})
+	if err != nil {
+		return 0, err
+	}
+	return labels[0].Y, nil
+}
+
+// EvaluateBatch measures cfgs in order as one fleet task.
+func (e *RemoteEvaluator) EvaluateBatch(ctx context.Context, cfgs []space.Config) ([]core.Label, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	configs := make([][]int, len(cfgs))
+	for i, c := range cfgs {
+		configs[i] = []int(c)
+	}
+	key := fmt.Sprintf("eval/%s/%d", e.problem, e.seq.Add(1))
+	job, err := e.coord.Submit([]TaskSpec{{
+		Key:  key,
+		Eval: &EvalTask{Problem: e.problem, State: e.inner.EvaluatorState(), Configs: configs},
+	}})
+	if err != nil {
+		return nil, err
+	}
+	results, err := job.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	tr := results[0]
+	if tr.Failed != "" {
+		return nil, fmt.Errorf("fleet: task %s failed: %s", key, tr.Failed)
+	}
+	var res EvalResult
+	if err := json.Unmarshal(tr.Payload, &res); err != nil {
+		return nil, fmt.Errorf("fleet: task %s: decoding result: %w", key, err)
+	}
+	switch res.ErrKind {
+	case "":
+	case ErrKindCanceled:
+		return nil, fmt.Errorf("fleet: task %s: %s: %w", key, res.Err, context.Canceled)
+	default:
+		return nil, fmt.Errorf("fleet: task %s: %s", key, res.Err)
+	}
+	if len(res.Ys) != len(cfgs) {
+		return nil, fmt.Errorf("fleet: task %s returned %d measurements for %d configs", key, len(res.Ys), len(cfgs))
+	}
+	if err := e.inner.RestoreEvaluatorState(res.State); err != nil {
+		return nil, fmt.Errorf("fleet: task %s: restoring evaluator state: %w", key, err)
+	}
+	labels := make([]core.Label, len(res.Ys))
+	for i, y := range res.Ys {
+		labels[i] = core.Label{Y: y}
+	}
+	return labels, nil
+}
+
+// EvaluatorState exports the mirror's stream position.
+func (e *RemoteEvaluator) EvaluatorState() rng.State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.inner.EvaluatorState()
+}
+
+// RestoreEvaluatorState rewinds the mirror.
+func (e *RemoteEvaluator) RestoreEvaluatorState(st rng.State) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.inner.RestoreEvaluatorState(st)
+}

@@ -1,0 +1,236 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Wire types for the coordinator's worker-facing API. Timings travel
+// as integer milliseconds; payload checksums as decimal uint64 (Go's
+// encoder round-trips uint64 exactly).
+
+// RegisterRequest admits a worker to the fleet.
+type RegisterRequest struct {
+	Name string `json:"name"`
+}
+
+// RegisterResponse assigns the worker id and the lease timing contract
+// the worker must honor.
+type RegisterResponse struct {
+	Worker      string `json:"worker"`
+	LeaseTTLMS  int64  `json:"lease_ttl_ms"`
+	HeartbeatMS int64  `json:"heartbeat_ms"`
+	PollMS      int64  `json:"poll_ms"`
+}
+
+// LeaseRequest asks for one task.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse carries the leased task; the queue-empty case is a
+// bare 204.
+type LeaseResponse struct {
+	Task *TaskSpec `json:"task"`
+}
+
+// HeartbeatRequest renews the worker's registration and its leases.
+type HeartbeatRequest struct {
+	Worker string   `json:"worker"`
+	Keys   []string `json:"keys,omitempty"`
+}
+
+// HeartbeatResponse lists leases the worker must abandon.
+type HeartbeatResponse struct {
+	Drop []string `json:"drop,omitempty"`
+}
+
+// CompleteRequest delivers one finished task's payload. Sum is the
+// FNV-1a checksum of Payload computed before transmission; ElapsedMS
+// the worker-side execution time for utilization accounting.
+type CompleteRequest struct {
+	Worker    string          `json:"worker"`
+	Key       string          `json:"key"`
+	Payload   json.RawMessage `json:"payload"`
+	Sum       uint64          `json:"sum"`
+	ElapsedMS int64           `json:"elapsed_ms"`
+}
+
+// CompleteResponse reports how the coordinator ingested the result:
+// accepted, duplicate (dropped), corrupt (rejected, lease re-queued)
+// or unknown (task released; drop it).
+type CompleteResponse struct {
+	Status string `json:"status"`
+}
+
+// FailRequest reports an execution failure for a held lease.
+type FailRequest struct {
+	Worker string `json:"worker"`
+	Key    string `json:"key"`
+	Error  string `json:"error"`
+}
+
+// FailResponse reports the lease's fate: requeued, failed (attempts
+// exhausted) or stale (not this worker's lease anymore).
+type FailResponse struct {
+	Status string `json:"status"`
+}
+
+type fleetErrorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler serves the coordinator API:
+//
+//	POST   /fleet/workers       register
+//	DELETE /fleet/workers/{id}  deregister (graceful drain)
+//	POST   /fleet/lease         lease one task (204 when idle)
+//	POST   /fleet/heartbeat     renew registration + leases
+//	POST   /fleet/complete      deliver a result (idempotent per key)
+//	POST   /fleet/fail          report an execution failure
+//	GET    /fleet/stats         counters
+//	GET    /healthz             liveness
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fleet/workers", c.handleRegister)
+	mux.HandleFunc("DELETE /fleet/workers/{id}", c.handleDeregister)
+	mux.HandleFunc("POST /fleet/lease", c.handleLease)
+	mux.HandleFunc("POST /fleet/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /fleet/complete", c.handleComplete)
+	mux.HandleFunc("POST /fleet/fail", c.handleFail)
+	mux.HandleFunc("GET /fleet/stats", c.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fleetWriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func fleetWriteJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func fleetWriteError(w http.ResponseWriter, status int, err error) {
+	fleetWriteJSON(w, status, fleetErrorBody{Error: err.Error()})
+}
+
+// fleetErrStatus maps a coordinator error to an HTTP status.
+func fleetErrStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownWorker):
+		return http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func fleetDecodeBody(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("fleet: decoding request: %w", err)
+	}
+	return nil
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := fleetDecodeBody(r, &req); err != nil {
+		fleetWriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, cfg, err := c.Register(req.Name)
+	if err != nil {
+		fleetWriteError(w, fleetErrStatus(err), err)
+		return
+	}
+	fleetWriteJSON(w, http.StatusCreated, RegisterResponse{
+		Worker:      id,
+		LeaseTTLMS:  cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMS: cfg.Heartbeat.Milliseconds(),
+		PollMS:      cfg.Poll.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if err := c.Deregister(r.PathValue("id")); err != nil {
+		fleetWriteError(w, fleetErrStatus(err), err)
+		return
+	}
+	fleetWriteJSON(w, http.StatusOK, map[string]string{"status": "deregistered"})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := fleetDecodeBody(r, &req); err != nil {
+		fleetWriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := c.Lease(req.Worker)
+	if err != nil {
+		fleetWriteError(w, fleetErrStatus(err), err)
+		return
+	}
+	if spec == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	fleetWriteJSON(w, http.StatusOK, LeaseResponse{Task: spec})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := fleetDecodeBody(r, &req); err != nil {
+		fleetWriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	drop, err := c.Heartbeat(req.Worker, req.Keys)
+	if err != nil {
+		fleetWriteError(w, fleetErrStatus(err), err)
+		return
+	}
+	fleetWriteJSON(w, http.StatusOK, HeartbeatResponse{Drop: drop})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := fleetDecodeBody(r, &req); err != nil {
+		fleetWriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	status, err := c.Complete(req.Worker, req.Key, req.Payload, req.Sum,
+		time.Duration(req.ElapsedMS)*time.Millisecond)
+	if err != nil {
+		fleetWriteError(w, fleetErrStatus(err), err)
+		return
+	}
+	code := http.StatusOK
+	if status == StatusCorrupt {
+		code = http.StatusUnprocessableEntity
+	}
+	fleetWriteJSON(w, code, CompleteResponse{Status: status})
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req FailRequest
+	if err := fleetDecodeBody(r, &req); err != nil {
+		fleetWriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	status, err := c.Fail(req.Worker, req.Key, req.Error)
+	if err != nil {
+		fleetWriteError(w, fleetErrStatus(err), err)
+		return
+	}
+	fleetWriteJSON(w, http.StatusOK, FailResponse{Status: status})
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	fleetWriteJSON(w, http.StatusOK, c.Stats())
+}

@@ -1,0 +1,152 @@
+// Package fleet extends the campaign work-stealing scheduler across
+// processes: a coordinator leases deterministic tasks — whole
+// (problem × strategy × repetition) campaign cells, or single batched
+// evaluations asked by a core.Session — to evaluator workers over
+// HTTP/JSON, with registration, heartbeats, lease expiry → re-queue,
+// and idempotent result ingestion keyed by the task coordinates.
+//
+// Every task is a pure function of its spec: cell seeds derive from
+// (campaign seed, rep) and evaluation tasks carry the evaluator's full
+// generator state, so a task re-executed after a lease bounce produces
+// the same bytes and duplicate completions are dropped, not
+// double-billed. Results travel as checksummed canonical JSON; a
+// corrupted payload is rejected at ingestion and the lease re-queued.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/rng"
+)
+
+// ScaleSpec is the serializable subset of experiment.Scale shipped with
+// a campaign cell. It mirrors every field except the in-process-only
+// ones: Fitter (a function value, rejected at submission) and Workers
+// (each cell runs one repetition; the worker's own forest parallelism
+// comes from Forest.Workers).
+type ScaleSpec struct {
+	PoolSize int `json:"pool_size"`
+	TestSize int `json:"test_size"`
+
+	NInit  int `json:"n_init"`
+	NBatch int `json:"n_batch"`
+	NMax   int `json:"n_max"`
+
+	Reps      int     `json:"reps"`
+	Alpha     float64 `json:"alpha"`
+	EvalEvery int     `json:"eval_every"`
+
+	Forest     forest.Config      `json:"forest"`
+	WarmUpdate bool               `json:"warm_update,omitempty"`
+	Failure    core.FailurePolicy `json:"failure"`
+	Guard      core.LabelGuard    `json:"guard"`
+	Chaos      chaos.Scenario     `json:"chaos"`
+}
+
+// CellTask is one campaign cell: repetition Rep of Strategy on Problem.
+// The repetition seed is rng.Mix(Seed, Rep), exactly as in
+// experiment.RunCampaign, so a remotely-executed cell is bit-identical
+// to the local one.
+type CellTask struct {
+	Problem  string    `json:"problem"`
+	Strategy string    `json:"strategy"`
+	Rep      int       `json:"rep"`
+	Seed     uint64    `json:"seed"`
+	Scale    ScaleSpec `json:"scale"`
+}
+
+// Error kinds a worker reports inside a task result payload. They
+// distinguish a deterministic outcome (a panicking evaluator
+// quarantines its repetition on every execution) from a cancellation
+// that only the submitting side can interpret.
+const (
+	ErrKindPanic    = "panic"
+	ErrKindCanceled = "canceled"
+	ErrKindError    = "error"
+)
+
+// CellResult is a cell's learning curves. ErrKind is empty on success;
+// a "panic" carries the recovered value and stack so the campaign can
+// quarantine the repetition exactly like the local scheduler does.
+type CellResult struct {
+	RMSE  []float64     `json:"rmse,omitempty"`
+	CC    []float64     `json:"cc,omitempty"`
+	Stats core.RunStats `json:"stats"`
+
+	ErrKind    string `json:"err_kind,omitempty"`
+	Err        string `json:"err,omitempty"`
+	PanicValue string `json:"panic_value,omitempty"`
+	PanicStack string `json:"panic_stack,omitempty"`
+}
+
+// EvalTask is one batched evaluation for a remote session: measure
+// Configs in order on Problem's evaluator starting from the exported
+// noise-stream State.
+type EvalTask struct {
+	Problem string    `json:"problem"`
+	State   rng.State `json:"state"`
+	Configs [][]int   `json:"configs"`
+}
+
+// EvalResult carries the measurements and the advanced stream state,
+// which the submitting side restores into its local mirror so
+// checkpointing and later local evaluation stay bit-identical.
+type EvalResult struct {
+	Ys    []float64 `json:"ys,omitempty"`
+	State rng.State `json:"state"`
+
+	ErrKind string `json:"err_kind,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// TaskSpec is one leasable unit of work. Key is the deterministic task
+// coordinate (e.g. "cell/atax/pwu/3") and the idempotency key for
+// result ingestion: the first checksum-valid completion wins, every
+// later one is dropped as a duplicate.
+type TaskSpec struct {
+	Key  string    `json:"key"`
+	Cell *CellTask `json:"cell,omitempty"`
+	Eval *EvalTask `json:"eval,omitempty"`
+}
+
+// Validate rejects specs that could never execute.
+func (s *TaskSpec) Validate() error {
+	if s.Key == "" {
+		return errors.New("fleet: task spec has no key")
+	}
+	if (s.Cell == nil) == (s.Eval == nil) {
+		return fmt.Errorf("fleet: task %q must carry exactly one of cell or eval", s.Key)
+	}
+	return nil
+}
+
+// TaskResult is the coordinator's record of one finished task. Payload
+// is the checksum-verified result JSON (a CellResult or EvalResult);
+// Failed is non-empty when the task permanently failed (attempts
+// exhausted, submission canceled) and Payload is nil.
+type TaskResult struct {
+	Key      string          `json:"key"`
+	Payload  json.RawMessage `json:"payload,omitempty"`
+	Worker   string          `json:"worker,omitempty"`
+	Attempts int             `json:"attempts"`
+	Elapsed  time.Duration   `json:"elapsed_ns"`
+	Failed   string          `json:"failed,omitempty"`
+}
+
+// Checksum is the FNV-1a digest a worker stamps on its marshaled
+// result payload and the coordinator recomputes at ingestion. It
+// guards the payload bytes in transit — a flipped byte (chaos's
+// corruption fault, a truncated body) is rejected and the lease
+// re-queued rather than ingested as a plausible-looking curve.
+func Checksum(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}

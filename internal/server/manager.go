@@ -583,6 +583,33 @@ func (s *managed) tell(ctx context.Context, m *Manager, req *TellRequest) (*Tell
 		resp := *s.lastResp
 		return &resp, nil
 	}
+	// A recovered session has no in-memory replay cache, but its
+	// checkpoint already contains every batch told before the write: a
+	// retransmission aimed at one of them (the crash ate the response,
+	// not the labels) must replay, not conflict, or an at-least-once
+	// client wedges against its own successfully-applied tell. The
+	// shape is unmistakable: a cursor that has never moved in this
+	// process (hasLast false, told 0, nothing asked yet) on a session
+	// that already holds samples — only recovery produces that — and a
+	// batch number no later than the checkpointed iteration. A tell
+	// that was applied but missed the checkpoint resumes at an earlier
+	// iteration, so its retransmission still conflicts and sends the
+	// client back to re-ask and re-derive. The synthesized response is
+	// what the lost one said: batch consumed whole, cursor at the next
+	// batch's start.
+	recoveredReplay := !s.hasLast && s.told == 0 && s.sess.Expecting() == 0 &&
+		s.sess.Samples() > 0 && req.Batch <= s.sess.Iteration()
+	if recoveredReplay {
+		m.stats.tellReplays.Add(1)
+		return &TellResponse{
+			Batch:     req.Batch,
+			Step:      0,
+			Consumed:  len(req.Labels),
+			Completed: true,
+			Done:      s.sess.Done(),
+			Samples:   s.sess.Samples(),
+		}, nil
+	}
 	if req.Batch != s.sess.Iteration() || req.Step != s.told || s.sess.Expecting() == 0 {
 		m.stats.tellConflicts.Add(1)
 		return nil, &conflictError{Batch: s.sess.Iteration(), Step: s.told}

@@ -405,6 +405,82 @@ func TestServerCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestServerRecoveredTellReplay: a tell whose response the crash ate is
+// retransmitted to the recovered manager. The labels are already inside
+// the checkpoint the new manager adopted, so the session's cursor sits
+// one batch ahead of the retransmission — which must replay a
+// synthesized success, not 409, or the at-least-once client wedges
+// against its own applied tell.
+func TestServerRecoveredTellReplay(t *testing.T) {
+	dir := t.TempDir()
+	m1 := NewManager(Config{CheckpointDir: dir})
+	a1 := newAPI(t, m1)
+	var created CreateResponse
+	a1.do("POST", "/sessions", testCreate("acme"), &created)
+	id := created.ID
+	var ask AskResponse
+	a1.do("POST", "/sessions/"+id+"/ask", nil, &ask)
+	labels := labelConfigs(ask.Configs)
+	tellReq := &TellRequest{Batch: ask.Batch, Step: ask.Step, Labels: labels}
+	var first TellResponse
+	if code := a1.do("POST", "/sessions/"+id+"/tell", tellReq, &first); code != http.StatusOK {
+		t.Fatalf("tell: status %d", code)
+	}
+	if !first.Completed {
+		t.Fatalf("batch not completed: %+v", first)
+	}
+	// The crash: the applied, checkpointed tell's response never reached
+	// the client. A second manager adopts the checkpoint.
+	m2 := NewManager(Config{CheckpointDir: dir})
+	if n, err := m2.Recover(); err != nil || n != 1 {
+		t.Fatalf("recover: n=%d err=%v", n, err)
+	}
+	a2 := newAPI(t, m2)
+	var replay TellResponse
+	if code := a2.do("POST", "/sessions/"+id+"/tell", tellReq, &replay); code != http.StatusOK {
+		t.Fatalf("retransmitted tell: status %d, want 200 replay", code)
+	}
+	if !replay.Completed || replay.Batch != tellReq.Batch || replay.Consumed != len(labels) {
+		t.Fatalf("replay response: %+v", replay)
+	}
+	if m2.Stats().TellReplays != 1 {
+		t.Fatalf("replay not counted: %+v", m2.Stats())
+	}
+	// A genuinely misaligned tell still conflicts.
+	bad := &TellRequest{Batch: tellReq.Batch + 5, Step: 0, Labels: labels}
+	if code := a2.do("POST", "/sessions/"+id+"/tell", bad, nil); code != http.StatusConflict {
+		t.Fatalf("misaligned tell: status %d, want 409", code)
+	}
+	// And the session keeps going to completion from where it stood.
+	a2.drive(id)
+
+	// Same crash one batch later: the loop-batch shape, where the
+	// checkpointed iteration counter sits one past the retransmission.
+	dir2 := t.TempDir()
+	m3 := NewManager(Config{CheckpointDir: dir2})
+	a3 := newAPI(t, m3)
+	a3.do("POST", "/sessions", testCreate("acme"), &created)
+	id = created.ID
+	var loopTell *TellRequest
+	for i := 0; i < 2; i++ {
+		a3.do("POST", "/sessions/"+id+"/ask", nil, &ask)
+		loopTell = &TellRequest{Batch: ask.Batch, Step: ask.Step, Labels: labelConfigs(ask.Configs)}
+		a3.do("POST", "/sessions/"+id+"/tell", loopTell, nil)
+	}
+	m4 := NewManager(Config{CheckpointDir: dir2})
+	if n, err := m4.Recover(); err != nil || n != 1 {
+		t.Fatalf("recover loop case: n=%d err=%v", n, err)
+	}
+	a4 := newAPI(t, m4)
+	if code := a4.do("POST", "/sessions/"+id+"/tell", loopTell, &replay); code != http.StatusOK {
+		t.Fatalf("retransmitted loop tell: status %d, want 200 replay", code)
+	}
+	if !replay.Completed || replay.Batch != loopTell.Batch {
+		t.Fatalf("loop replay response: %+v", replay)
+	}
+	a4.drive(id)
+}
+
 // TestServerDrainPersistsBoundaries: Drain writes a checkpoint for a
 // session whose cadence would otherwise have skipped the latest
 // boundary.
