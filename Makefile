@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence session-equivalence soak-server fleet-equivalence fleet-soak bench bench-train bench-campaign bench-campaign-smoke bench-pool bench-pool-smoke figures figures-paper report examples clean
+.PHONY: all build check vet test race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence session-equivalence soak-server fleet-equivalence fleet-soak fleet-failover bench bench-train bench-campaign bench-campaign-smoke bench-pool bench-pool-smoke figures figures-paper report examples clean
 
 all: build check
 
@@ -15,7 +15,7 @@ build:
 # and the mixed-fault race soaks, in-process and fleet), the server
 # soak, and smoke-sized runs of the streaming-pool and campaign
 # benchmarks.
-check: vet race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence session-equivalence soak-server fleet-equivalence fleet-soak bench-pool-smoke bench-campaign-smoke
+check: vet race train-equivalence resume-equivalence campaign-equivalence chaos-equivalence chaos-soak pool-equivalence quant-equivalence session-equivalence soak-server fleet-equivalence fleet-soak fleet-failover bench-pool-smoke bench-campaign-smoke
 
 # train-equivalence gates the presorted-column training engine: the
 # builder-equivalence property tests (presorted vs reference builder must
@@ -121,6 +121,23 @@ fleet-equivalence:
 # leaks once the drain completes.
 fleet-soak:
 	go test -race -run 'TestFleetSoakMixedFaults' ./internal/experiment
+
+# fleet-failover gates the durable coordinator: the journal layer
+# (crash-image recovery, torn-tail truncation at every offset,
+# compaction, halt/reattach, typed shutdown errors), the HTTP submitter
+# client riding out coordinator restarts, and the fleetd drills — the
+# coordinator SIGKILLed mid-campaign and restarted on the same address,
+# the submitter abandoned and reattached by its deterministic job ID —
+# all under the race detector, requiring curves bit-identical to
+# RunAllSequential, zero re-executions of journaled completions, and
+# zero goroutine leaks. The tuned client-fault drill (retransmits,
+# mid-tell stalls, dropped asks) rides along as the session-layer
+# counterpart.
+fleet-failover:
+	go test -race -run 'TestAppendLog' ./internal/runstate
+	go test -race -run 'TestJournal|TestClient|TestRegisterBackoff|TestJobWaitShutdownVsContext|TestCoordinatorCloseFailsPending' ./internal/fleet
+	go test -race -run 'TestFleetd' ./cmd/fleetd
+	go test -race -run 'TestServerChaosClientFaults' ./internal/server
 
 vet:
 	go vet ./...

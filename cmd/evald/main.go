@@ -25,6 +25,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -59,9 +60,13 @@ func main() {
 		cli.Fatalf("%v", err)
 	}
 	if *name == "" {
-		if host, herr := os.Hostname(); herr == nil {
-			*name = host
+		host, herr := os.Hostname()
+		if herr != nil {
+			host = "evald"
 		}
+		// Unique per process: the name seeds the re-register jitter, so
+		// co-located workers must not share it.
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
 	logger := log.New(os.Stderr, "evald: ", log.LstdFlags)

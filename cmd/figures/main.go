@@ -25,6 +25,12 @@
 // way (see the fleet-equivalence gate). Start workers with:
 //
 //	evald -coordinator host:port
+//
+// -coordinator URL drains the campaigns through a resident fleetd
+// coordinator instead: fleetd journals every completed cell, so a
+// coordinator or figures restart mid-grid resumes the surviving job
+// (same seed → same deterministic job ID) without re-evaluating
+// finished cells.
 package main
 
 import (
@@ -59,6 +65,7 @@ func main() {
 	workers := flag.Int("workers", 0, "campaign worker pool size; 0 = GOMAXPROCS")
 	warm := flag.Bool("warm", false, "refit the surrogate incrementally and cache checkpoint evaluations")
 	remote := flag.String("remote", "", "serve a fleet coordinator on this host:port and drain campaigns through remote evald workers")
+	coordinator := flag.String("coordinator", "", "drain campaigns through a resident fleetd coordinator at this URL or host:port")
 	flag.Parse()
 
 	if err := cli.NonNegativeInt("-workers", *workers); err != nil {
@@ -68,6 +75,9 @@ func main() {
 		if err := cli.ListenAddr("-remote", *remote); err != nil {
 			cli.Fatalf("%v", err)
 		}
+	}
+	if *remote != "" && *coordinator != "" {
+		cli.Fatalf("-remote and -coordinator are mutually exclusive: serve an embedded coordinator or use a resident one")
 	}
 
 	var sc experiment.Scale
@@ -131,6 +141,16 @@ func main() {
 		fmt.Printf("fleet coordinator on %s; start workers with: evald -coordinator %s\n",
 			ln.Addr(), ln.Addr())
 		gen.Fleet = coord
+	}
+	if *coordinator != "" {
+		base, err := cli.RemoteURL("-coordinator", *coordinator)
+		if err != nil {
+			cli.Fatalf("%v", err)
+		}
+		client := fleet.NewClient(base)
+		client.Logf = log.New(os.Stderr, "fleet: ", log.LstdFlags).Printf
+		fmt.Printf("draining campaigns through resident coordinator %s\n", base)
+		gen.Fleet = client
 	}
 
 	artifacts := []struct {

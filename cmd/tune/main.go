@@ -31,6 +31,11 @@
 // bit-identical to a local run. Start workers with:
 //
 //	evald -coordinator host:port
+//
+// -coordinator URL submits those measurements to a resident fleetd
+// coordinator instead of serving an embedded one — the durable
+// variant: fleetd journals every evaluation, so neither its restarts
+// nor this process's lose paid-for measurements.
 package main
 
 import (
@@ -75,6 +80,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-measurement deadline; a hung run is cut off and retried (0 = none)")
 	chaosSpec := flag.String("chaos", "", "fault-injection scenario for the model phase;\n"+chaos.Grammar)
 	remote := flag.String("remote", "", "serve a fleet coordinator on this host:port and offload measurements to remote evald workers")
+	coordinator := flag.String("coordinator", "", "submit measurements to a resident fleetd coordinator at this URL or host:port")
 	flag.Parse()
 
 	if err := cli.FirstError(
@@ -93,6 +99,9 @@ func main() {
 		if err := cli.ListenAddr("-remote", *remote); err != nil {
 			cli.Fatalf("%v", err)
 		}
+	}
+	if *remote != "" && *coordinator != "" {
+		cli.Fatalf("-remote and -coordinator are mutually exclusive: serve an embedded coordinator or use a resident one")
 	}
 
 	p, err := bench.ByName(*benchName)
@@ -144,6 +153,16 @@ func main() {
 		fmt.Printf("fleet coordinator on %s; start workers with: evald -coordinator %s\n",
 			ln.Addr(), ln.Addr())
 		cfg.Remote = coord
+	}
+	if *coordinator != "" {
+		base, err := cli.RemoteURL("-coordinator", *coordinator)
+		if err != nil {
+			cli.Fatalf("%v", err)
+		}
+		client := fleet.NewClient(base)
+		client.Logf = log.New(os.Stderr, "fleet: ", log.LstdFlags).Printf
+		fmt.Printf("submitting measurements to resident coordinator %s\n", base)
+		cfg.Remote = client
 	}
 
 	fmt.Printf("tuning %s (%s)\n", p.Name(), p.Description())

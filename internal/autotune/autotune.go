@@ -115,12 +115,13 @@ type Config struct {
 
 	// Remote, when set, offloads every real measurement — model-phase
 	// labels, verification runs, the baseline — to fleet workers
-	// through this coordinator. The local evaluator stays as the
-	// noise-stream mirror (see fleet.RemoteEvaluator), so the outcome
-	// is bit-identical to a local run; model-phase ask batches travel
-	// as one task each. Chaos composes: the injector wraps the remote
-	// evaluator exactly as it wraps a local one.
-	Remote *fleet.Coordinator
+	// through this submitter: the embedded coordinator of -remote, or
+	// a fleet.Client against a resident fleetd. The local evaluator
+	// stays as the noise-stream mirror (see fleet.RemoteEvaluator), so
+	// the outcome is bit-identical to a local run; model-phase ask
+	// batches travel as one task each. Chaos composes: the injector
+	// wraps the remote evaluator exactly as it wraps a local one.
+	Remote fleet.Submitter
 }
 
 // logf emits a recoverable-warning line when a sink is configured.

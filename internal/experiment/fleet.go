@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime/debug"
 	"time"
 
@@ -146,21 +147,46 @@ func cellKey(problem, strategy string, rep int) string {
 	return fmt.Sprintf("cell/%s/%s/%d", problem, strategy, rep)
 }
 
-// RunCampaignFleet drains the campaign grid through a fleet
-// coordinator: one leasable task per (problem × strategy × rep) cell,
-// executed by whatever workers are registered. Aggregation, panic
-// quarantine and cancellation semantics match RunCampaign exactly;
-// because cell seeds are scheduling-independent and results travel as
-// checksummed JSON (float64s round-trip bit-exactly), the curves are
-// bit-identical to the local drain whenever re-leases cover the
-// faults.
+// CampaignJobID derives the campaign's deterministic fleet job ID from
+// its seed and grid coordinates. A submitter that restarts re-derives
+// the same ID from the same campaign and reattaches to the job its
+// previous incarnation left running in a journaled coordinator —
+// SubmitOrAttach's spec fingerprint check holds because the specs are
+// re-derived bit-identically too.
+func CampaignJobID(c Campaign) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "seed/%d\n", c.Seed)
+	for _, it := range c.Items {
+		for _, name := range c.Strategies {
+			fmt.Fprintf(h, "%s/%s/%d\n", it.Problem.Name(), name, it.Scale.Reps)
+		}
+	}
+	return fmt.Sprintf("campaign/%016x", h.Sum64())
+}
+
+// RunCampaignFleet drains the campaign grid through a fleet submitter
+// — the in-process *fleet.Coordinator, or a *fleet.Client against a
+// resident fleetd: one leasable task per (problem × strategy × rep)
+// cell, executed by whatever workers are registered. Aggregation,
+// panic quarantine and cancellation semantics match RunCampaign
+// exactly; because cell seeds are scheduling-independent and results
+// travel as checksummed JSON (float64s round-trip bit-exactly), the
+// curves are bit-identical to the local drain whenever re-leases cover
+// the faults.
+//
+// The submission uses the campaign's deterministic job ID, so a
+// submitter that died mid-wait and reruns the same campaign attaches
+// to the surviving job instead of re-evaluating its completed cells.
+// A coordinator shutdown mid-wait surfaces as an error wrapping
+// fleet.ErrClosed — retry once the coordinator is back; nothing
+// completed is lost when it journals.
 //
 // The Scheduler telemetry maps the fleet drain onto campaign.Stats:
 // Workers is the coordinator's peak registration count, Steals counts
 // lease re-queues (work that moved between workers), Busy sums
 // worker-reported execution time. Datasets stays zero — each worker
 // keeps its own cache.
-func RunCampaignFleet(ctx context.Context, c Campaign, coord *fleet.Coordinator) (*CampaignResult, error) {
+func RunCampaignFleet(ctx context.Context, c Campaign, sub fleet.Submitter) (*CampaignResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -198,13 +224,19 @@ func RunCampaignFleet(ctx context.Context, c Campaign, coord *fleet.Coordinator)
 		}
 	}
 
-	job, err := coord.Submit(specs)
+	job, _, err := sub.SubmitTasks(CampaignJobID(c), specs)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: fleet submit: %w", err)
 	}
 	start := time.Now()
 	taskResults, waitErr := job.Wait(ctx)
 	wall := time.Since(start)
+	if errors.Is(waitErr, fleet.ErrClosed) || (waitErr != nil && len(taskResults) == 0) {
+		// The coordinator went away under us (reattach once it is
+		// back), or a remote Wait was abandoned before anything could
+		// be collected — there is no partial grid to aggregate.
+		return nil, fmt.Errorf("experiment: fleet wait: %w", waitErr)
+	}
 
 	res := &CampaignResult{Curves: make(map[string][]*CurveSet, len(c.Items))}
 	var busy time.Duration
@@ -256,7 +288,10 @@ func RunCampaignFleet(ctx context.Context, c Campaign, coord *fleet.Coordinator)
 		}
 	}
 
-	fst := coord.Stats()
+	fst, statsErr := sub.SubmitterStats()
+	if statsErr != nil {
+		fst = fleet.Stats{} // telemetry only; never fail the campaign over it
+	}
 	res.Scheduler = campaign.Stats{
 		Workers: fst.PeakWorkers,
 		Tasks:   len(taskResults),

@@ -48,12 +48,14 @@ type Generator struct {
 	// GOMAXPROCS.
 	Workers int
 
-	// Fleet, when non-nil, drains campaigns through this coordinator's
+	// Fleet, when non-nil, drains campaigns through this submitter's
 	// registered remote workers (experiment.RunCampaignFleet) instead
-	// of the in-process scheduler. Curves are bit-identical either
-	// way; only the telemetry changes meaning (steals become lease
-	// re-queues, the dataset cache lives per worker).
-	Fleet *fleet.Coordinator
+	// of the in-process scheduler — the embedded coordinator of
+	// -remote, or a fleet.Client against a resident fleetd. Curves are
+	// bit-identical either way; only the telemetry changes meaning
+	// (steals become lease re-queues, the dataset cache lives per
+	// worker).
+	Fleet fleet.Submitter
 
 	// curve cache: benchmark name -> per-strategy curves.
 	curves map[string][]*experiment.CurveSet

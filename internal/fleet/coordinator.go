@@ -32,8 +32,16 @@ type Config struct {
 	// failure or corrupt completion consumes one attempt.
 	MaxAttempts int
 
+	// Journal, when set, is a directory where every state transition is
+	// written ahead as a checksummed fsync'd record, so the coordinator
+	// can be killed at any instant and restarted with Open: completed
+	// payloads survive, in-flight leases bounce back to the queue, and
+	// submitters reattach to their jobs by ID. Empty keeps the
+	// coordinator purely in-memory (the embedded default).
+	Journal string
+
 	// Logf, when set, receives coordinator events (expiries, re-queues,
-	// rejected payloads).
+	// rejected payloads, journal recovery).
 	Logf func(format string, args ...interface{})
 }
 
@@ -74,9 +82,11 @@ type Stats struct {
 	PeakWorkers int   `json:"peak_workers"`
 	Registered  int64 `json:"registered"`
 
-	// Queued and Leased count live tasks by state.
+	// Queued and Leased count live tasks by state; Jobs the unreleased
+	// jobs holding them.
 	Queued int `json:"queued"`
 	Leased int `json:"leased"`
+	Jobs   int `json:"jobs"`
 
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
@@ -91,6 +101,15 @@ type Stats struct {
 	Expired    int64 `json:"expired"`
 	Duplicates int64 `json:"duplicates"`
 	Corrupt    int64 `json:"corrupt"`
+
+	// RecoveredTasks, RecoveredCompleted and RecoveredRequeued describe
+	// the journal replay that booted this coordinator: live tasks
+	// reconstructed, of which how many came back already completed
+	// (their payloads will never be re-evaluated) and how many were
+	// mid-lease and conservatively re-queued. All zero on a fresh boot.
+	RecoveredTasks     int64 `json:"recovered_tasks,omitempty"`
+	RecoveredCompleted int64 `json:"recovered_completed,omitempty"`
+	RecoveredRequeued  int64 `json:"recovered_requeued,omitempty"`
 
 	// Busy sums worker-reported execution time over accepted
 	// completions — the fleet analogue of campaign.Stats.Busy.
@@ -116,6 +135,18 @@ var ErrUnknownWorker = errors.New("fleet: unknown worker")
 // ErrClosed is returned once the coordinator has shut down.
 var ErrClosed = errors.New("fleet: coordinator closed")
 
+// ErrCoordinatorClosed is returned by Job.Wait when the coordinator
+// shut down under the job — distinct from the submitter's own context
+// error so callers can tell "my deadline fired" (abort) from "the
+// coordinator went away" (reattach once it is back; a journaled
+// coordinator keeps the job across the restart). It wraps ErrClosed,
+// so errors.Is(err, ErrClosed) also holds.
+var ErrCoordinatorClosed = fmt.Errorf("%w under a waiting job", ErrClosed)
+
+// ErrUnknownJob is returned by Attach for a job ID the coordinator does
+// not hold — never submitted, or already released to its submitter.
+var ErrUnknownJob = errors.New("fleet: unknown job")
+
 type taskState int
 
 const (
@@ -132,6 +163,7 @@ type task struct {
 	worker   string // current lessee while leased
 	deadline time.Time
 	res      TaskResult
+	released bool // results collected; kept only during journal replay
 }
 
 type workerState struct {
@@ -143,38 +175,114 @@ type workerState struct {
 
 // Coordinator owns the task queue and the lease table. It is a plain
 // library — embed it in any process (cmd/figures and cmd/tune serve it
-// next to their own work; tests drive it in-process) and expose
-// Handler() to the fleet.
+// next to their own work; tests drive it in-process), run it resident
+// via cmd/fleetd, and expose Handler() to the fleet.
 type Coordinator struct {
 	cfg Config
 
 	mu      sync.Mutex
 	tasks   map[string]*task
 	queue   []*task
+	jobs    map[string]*Job
 	workers map[string]*workerState
 	nextID  int64
+	jobSeq  int64
 	closed  bool
 	st      Stats
+	jnl     *journal
+
+	recCompleted []string
+	recRequeued  []string
 
 	stop chan struct{}
 	done chan struct{}
 }
 
-// New starts a coordinator and its lease sweeper.
+// New starts an in-memory coordinator and its lease sweeper. For a
+// journaled coordinator use Open; New panics if cfg.Journal is set and
+// cannot be opened.
 func New(cfg Config) *Coordinator {
+	c, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Open starts a coordinator. With cfg.Journal set it first replays the
+// journal directory: every *.wal segment is scanned in order, torn
+// tails are skipped with a warning, completed tasks come back with
+// their checksummed payloads, mid-lease tasks are conservatively
+// re-queued, and unreleased jobs become attachable by ID.
+func Open(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:     cfg,
 		tasks:   make(map[string]*task),
+		jobs:    make(map[string]*Job),
 		workers: make(map[string]*workerState),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	if cfg.Journal != "" {
+		rec, err := replayJournal(cfg.Journal, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		rec.finish()
+		c.adoptRecovery(rec)
+		jnl, err := openJournal(cfg.Journal, rec.lastSeg, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		c.jnl = jnl
+	}
 	go c.sweep()
-	return c
+	return c, nil
 }
 
-// Close shuts the coordinator down: pending tasks fail, waiting jobs
-// unblock, the sweeper exits. Safe to call once.
+// adoptRecovery installs a journal replay as the coordinator's state.
+func (c *Coordinator) adoptRecovery(r *recovery) {
+	c.tasks = r.tasks
+	c.jobSeq = r.autoSeq
+	for id, ts := range r.jobs {
+		j := &Job{c: c, id: id, fp: r.jobFPs[id], done: make(chan struct{}), intr: make(chan struct{})}
+		for _, t := range ts {
+			t.job = j
+			j.keys = append(j.keys, t.spec.Key)
+			if t.state != taskFinished {
+				j.remaining++
+			}
+		}
+		if j.remaining == 0 {
+			close(j.done)
+		}
+		c.jobs[id] = j
+	}
+	for _, t := range r.order {
+		if !t.released && t.state == taskQueued {
+			c.queue = append(c.queue, t)
+		}
+	}
+	live := int64(len(c.tasks))
+	c.st.Submitted = live
+	c.st.Completed = int64(len(r.completed))
+	c.st.RecoveredTasks = live
+	c.st.RecoveredCompleted = int64(len(r.completed))
+	c.st.RecoveredRequeued = int64(len(r.requeued))
+	c.recCompleted = r.completed
+	c.recRequeued = r.requeued
+	if live > 0 {
+		c.logf("fleet: journal recovery: %d tasks across %d jobs (%d completed, %d re-queued)",
+			live, len(c.jobs), len(r.completed), len(r.requeued))
+	}
+}
+
+// Close shuts the coordinator down hard: pending tasks fail, waiting
+// jobs unblock with ErrCoordinatorClosed, the sweeper exits. This is
+// the embedded-coordinator exit — the failures are NOT journaled, so a
+// journaled coordinator closed mid-job would resurrect the tasks on
+// the next Open; a resident coordinator draining for a restart should
+// use Halt instead. Safe to call once.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -184,8 +292,39 @@ func (c *Coordinator) Close() {
 	c.closed = true
 	for _, t := range c.tasks {
 		if t.state != taskFinished {
+			t.job.interrupt()
 			c.finishLocked(t, TaskResult{Failed: "coordinator closed"})
 		}
+	}
+	if c.jnl != nil {
+		c.jnl.close()
+		c.jnl = nil
+	}
+	c.mu.Unlock()
+	close(c.stop)
+	<-c.done
+}
+
+// Halt drains the coordinator for a restart: it stops granting leases
+// and accepting work, unblocks waiting submitters with
+// ErrCoordinatorClosed (their jobs' keys stay held, so a reattach
+// after the restart resumes them), closes the journal segment and
+// stops the sweeper — leaving the journaled task state exactly as it
+// stands for the next Open. Safe to call once; Close after Halt is a
+// no-op.
+func (c *Coordinator) Halt() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, j := range c.jobs {
+		j.interruptIfPending()
+	}
+	if c.jnl != nil {
+		c.jnl.close()
+		c.jnl = nil
 	}
 	c.mu.Unlock()
 	close(c.stop)
@@ -251,9 +390,13 @@ func (c *Coordinator) requeueLocked(t *task, cause string) {
 		return
 	}
 	if t.attempts >= c.cfg.maxAttempts() {
-		c.finishLocked(t, TaskResult{
-			Failed: fmt.Sprintf("%s; %d attempts exhausted", cause, t.attempts),
-		})
+		msg := fmt.Sprintf("%s; %d attempts exhausted", cause, t.attempts)
+		if c.jnl != nil {
+			if err := c.jnl.append(journalRecord{Op: opFail, Key: t.spec.Key, Msg: msg, Attempts: t.attempts}); err != nil {
+				c.logf("fleet: journaling failure of %s: %v", t.spec.Key, err)
+			}
+		}
+		c.finishLocked(t, TaskResult{Failed: msg})
 		return
 	}
 	t.state = taskQueued
@@ -330,8 +473,9 @@ func (c *Coordinator) Deregister(id string) error {
 }
 
 // Lease hands the worker the oldest queued task, or nil when the queue
-// is empty. A lease counts one attempt and must be renewed by
-// heartbeat within the TTL.
+// is empty. A lease counts one attempt, is journaled before it is
+// granted (so replayed attempts still respect MaxAttempts), and must
+// be renewed by heartbeat within the TTL.
 func (c *Coordinator) Lease(workerID string) (*TaskSpec, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -346,10 +490,16 @@ func (c *Coordinator) Lease(workerID string) (*TaskSpec, error) {
 	w.deadline = now.Add(c.cfg.leaseTTL())
 	for len(c.queue) > 0 {
 		t := c.queue[0]
-		c.queue = c.queue[1:]
 		if t.state != taskQueued {
+			c.queue = c.queue[1:]
 			continue // finished while queued (job canceled)
 		}
+		if c.jnl != nil {
+			if err := c.jnl.append(journalRecord{Op: opLease, Key: t.spec.Key, Worker: w.name}); err != nil {
+				return nil, err // task stays queued; the worker polls again
+			}
+		}
+		c.queue = c.queue[1:]
 		t.state = taskLeased
 		t.attempts++
 		t.worker = workerID
@@ -395,6 +545,9 @@ func (c *Coordinator) Heartbeat(workerID string, keys []string) ([]string, error
 //
 // A valid payload is accepted even from a stale lessee: tasks are
 // deterministic, so the bytes are the ones any attempt would produce.
+// The accepted payload is journaled (write-ahead) before the task
+// finishes; a journal write failure is returned to the worker, which
+// reposts — durability is never silently dropped.
 func (c *Coordinator) Complete(workerID, key string, payload json.RawMessage, sum uint64, elapsed time.Duration) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -417,6 +570,15 @@ func (c *Coordinator) Complete(workerID, key string, payload json.RawMessage, su
 			c.requeueLocked(t, "corrupt payload")
 		}
 		return StatusCorrupt, nil
+	}
+	if c.jnl != nil {
+		rec := journalRecord{
+			Op: opComplete, Key: key, Worker: workerID,
+			Payload: payload, Sum: sum, ElapsedNS: int64(elapsed),
+		}
+		if err := c.jnl.append(rec); err != nil {
+			return "", err
+		}
 	}
 	if t.state == taskLeased && t.worker != workerID {
 		// Stale lessee finished first; the current one will learn via
@@ -460,6 +622,7 @@ func (c *Coordinator) Stats() Stats {
 	defer c.mu.Unlock()
 	st := c.st
 	st.Workers = len(c.workers)
+	st.Jobs = len(c.jobs)
 	for _, t := range c.tasks {
 		switch t.state {
 		case taskQueued:
@@ -471,15 +634,41 @@ func (c *Coordinator) Stats() Stats {
 	return st
 }
 
-// Job tracks one Submit's tasks until they all finish.
-type Job struct {
-	c         *Coordinator
-	keys      []string
-	remaining int
-	mu        sync.Mutex
-	done      chan struct{}
-	released  bool
+// Recovered reports the task keys the boot-time journal replay
+// restored: completed keys whose payloads will never be re-evaluated,
+// and keys that were mid-lease at the crash and were re-queued. Both
+// sorted; both empty on a fresh boot. The failover gate asserts no
+// completed key is ever executed again.
+func (c *Coordinator) Recovered() (completed, requeued []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	completed = append([]string(nil), c.recCompleted...)
+	requeued = append([]string(nil), c.recRequeued...)
+	sort.Strings(completed)
+	sort.Strings(requeued)
+	return completed, requeued
 }
+
+// Job tracks one submission's tasks until they all finish. A job is
+// held by the coordinator — surviving restarts when journaled — until
+// its results are collected by a successful Wait; until then any
+// process that knows the ID can Attach and Wait on it.
+type Job struct {
+	c           *Coordinator
+	id          string
+	fp          uint64 // fingerprint of the submitted specs, for attach checks
+	keys        []string
+	remaining   int
+	mu          sync.Mutex
+	done        chan struct{}
+	intr        chan struct{}
+	interrupted bool
+	released    bool
+}
+
+// ID returns the job's identifier, usable with Attach after a
+// submitter restart.
+func (j *Job) ID() string { return j.id }
 
 func (j *Job) taskDone() {
 	j.mu.Lock()
@@ -490,21 +679,119 @@ func (j *Job) taskDone() {
 	}
 }
 
-// Submit enqueues specs as one job, FIFO behind whatever is already
-// queued. Keys must be unique among the coordinator's live tasks; a
-// job's keys are released when its Wait returns, so re-submitting the
-// same coordinates later (a re-run campaign) is fine.
+// interrupt flags the job as shut down under its waiter.
+func (j *Job) interrupt() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.interrupted {
+		j.interrupted = true
+		close(j.intr)
+	}
+}
+
+// interruptIfPending interrupts only jobs with unfinished tasks — a
+// job that completed before the shutdown delivers its results with a
+// nil error.
+func (j *Job) interruptIfPending() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.remaining > 0 && !j.interrupted {
+		j.interrupted = true
+		close(j.intr)
+	}
+}
+
+// progress reports the job's size and unfinished-task count.
+func (j *Job) progress() (total, remaining int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.keys), j.remaining
+}
+
+func (j *Job) wasInterrupted() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.interrupted
+}
+
+// Submit enqueues specs as one auto-named job, FIFO behind whatever is
+// already queued. Keys must be unique among the coordinator's live
+// tasks; a job's keys are released when its Wait returns, so
+// re-submitting the same coordinates later (a re-run campaign) is
+// fine.
 func (c *Coordinator) Submit(specs []TaskSpec) (*Job, error) {
-	j := &Job{c: c, remaining: len(specs), done: make(chan struct{})}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(specs) == 0 {
+		j := &Job{c: c, done: make(chan struct{}), intr: make(chan struct{})}
 		close(j.done)
 		return j, nil
 	}
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.jobSeq++
+	return c.submitLocked(fmt.Sprintf("job-%d", c.jobSeq), specs)
+}
+
+// SubmitJob enqueues specs under a caller-chosen job ID — the durable
+// handle a submitter uses to reattach after its own restart. The ID
+// must not collide with a live job.
+func (c *Coordinator) SubmitJob(id string, specs []TaskSpec) (*Job, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrClosed
 	}
+	if id == "" {
+		return nil, errors.New("fleet: empty job id")
+	}
+	if _, dup := c.jobs[id]; dup {
+		return nil, fmt.Errorf("fleet: job %q already exists", id)
+	}
+	return c.submitLocked(id, specs)
+}
+
+// SubmitOrAttach submits specs under id, or — when the job already
+// exists, typically because this submitter's previous incarnation
+// submitted it before dying — attaches to it after verifying the
+// specs fingerprint matches (attached reports which happened). This is
+// the idempotent resume primitive: a restarted submitter re-derives
+// its specs deterministically and calls SubmitOrAttach with the same
+// ID.
+func (c *Coordinator) SubmitOrAttach(id string, specs []TaskSpec) (j *Job, attached bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id == "" {
+		return nil, false, errors.New("fleet: empty job id")
+	}
+	if j := c.jobs[id]; j != nil {
+		if j.fp != specsFingerprint(specs) {
+			return nil, false, fmt.Errorf("fleet: job %q exists with different specs", id)
+		}
+		return j, true, nil
+	}
+	if c.closed {
+		return nil, false, ErrClosed
+	}
+	j, err = c.submitLocked(id, specs)
+	return j, false, err
+}
+
+// Attach returns the live job with the given ID, or ErrUnknownJob —
+// which a submitter should read as "released or never submitted".
+func (c *Coordinator) Attach(id string) (*Job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// submitLocked validates, journals and enqueues one job.
+func (c *Coordinator) submitLocked(id string, specs []TaskSpec) (*Job, error) {
 	for i := range specs {
 		if err := specs[i].Validate(); err != nil {
 			return nil, err
@@ -513,21 +800,39 @@ func (c *Coordinator) Submit(specs []TaskSpec) (*Job, error) {
 			return nil, fmt.Errorf("fleet: duplicate task key %q", specs[i].Key)
 		}
 	}
+	if c.jnl != nil {
+		if err := c.jnl.append(journalRecord{Op: opSubmit, Job: id, Specs: specs}); err != nil {
+			return nil, err
+		}
+	}
+	j := &Job{
+		c: c, id: id, fp: specsFingerprint(specs),
+		remaining: len(specs),
+		done:      make(chan struct{}),
+		intr:      make(chan struct{}),
+	}
 	for i := range specs {
 		t := &task{spec: specs[i], job: j, state: taskQueued}
 		c.tasks[t.spec.Key] = t
 		c.queue = append(c.queue, t)
 		j.keys = append(j.keys, t.spec.Key)
 	}
+	c.jobs[id] = j
 	c.st.Submitted += int64(len(specs))
 	return j, nil
 }
 
 // Wait blocks until every task of the job finished, then returns the
-// results in submission order. Cancelling ctx fails the job's
+// results in submission order and releases the job's keys.
+//
+// Two interruptions are distinguished. Cancelling ctx fails the job's
 // unfinished tasks ("canceled"), drops their leases at the workers'
-// next heartbeat, and returns the partial results with ctx's error.
-// Either way the job's keys are released for re-submission.
+// next heartbeat, releases the keys and returns the partial results
+// with ctx's error — the submitter gave up. The coordinator shutting
+// down under the job instead returns ErrCoordinatorClosed with the
+// results finished so far and does NOT release the keys: on a
+// journaled coordinator the job survives the restart, and the
+// submitter resumes it with Attach or SubmitOrAttach.
 func (j *Job) Wait(ctx context.Context) ([]TaskResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -535,11 +840,18 @@ func (j *Job) Wait(ctx context.Context) ([]TaskResult, error) {
 	var werr error
 	select {
 	case <-j.done:
+		if j.wasInterrupted() {
+			// Close failed the pending tasks under us.
+			werr = ErrCoordinatorClosed
+		}
+	case <-j.intr:
+		werr = ErrCoordinatorClosed
 	case <-ctx.Done():
 		werr = ctx.Err()
 		j.cancel()
 	}
-	return j.collect(), werr
+	release := !errors.Is(werr, ErrClosed)
+	return j.collect(release), werr
 }
 
 // cancel fails every unfinished task of the job.
@@ -547,15 +859,24 @@ func (j *Job) cancel() {
 	c := j.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	canceled := false
 	for _, key := range j.keys {
 		if t := c.tasks[key]; t != nil && t.state != taskFinished {
 			c.finishLocked(t, TaskResult{Failed: "canceled"})
+			canceled = true
+		}
+	}
+	if canceled && c.jnl != nil && j.id != "" {
+		if err := c.jnl.append(journalRecord{Op: opCancel, Job: j.id}); err != nil {
+			c.logf("fleet: journaling cancel of %s: %v", j.id, err)
 		}
 	}
 }
 
-// collect gathers the results and releases the job's keys.
-func (j *Job) collect() []TaskResult {
+// collect gathers the finished results and, when release is set,
+// releases the job's keys, journals the release, and compacts the
+// journal once the coordinator is empty.
+func (j *Job) collect(release bool) []TaskResult {
 	c := j.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -564,15 +885,28 @@ func (j *Job) collect() []TaskResult {
 	out := make([]TaskResult, 0, len(j.keys))
 	for _, key := range j.keys {
 		t := c.tasks[key]
-		if t == nil {
-			continue // released by an earlier Wait
+		if t == nil || t.state != taskFinished {
+			continue // released by an earlier Wait, or still pending (Halt)
 		}
 		out = append(out, t.res)
-		if !j.released {
+		if release && !j.released {
 			delete(c.tasks, key)
 		}
 	}
-	j.released = true
+	if release && !j.released {
+		j.released = true
+		if j.id != "" && c.jobs[j.id] == j {
+			delete(c.jobs, j.id)
+			if c.jnl != nil {
+				if err := c.jnl.append(journalRecord{Op: opRelease, Job: j.id}); err != nil {
+					c.logf("fleet: journaling release of %s: %v", j.id, err)
+				}
+			}
+		}
+		if c.jnl != nil && len(c.tasks) == 0 && len(c.jobs) == 0 {
+			c.jnl.compact()
+		}
+	}
 	return out
 }
 

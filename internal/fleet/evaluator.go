@@ -26,7 +26,7 @@ import (
 // ask batch as one task) and core.StatefulEvaluator (delegated to the
 // mirror, so snapshotting keeps working).
 type RemoteEvaluator struct {
-	coord   *Coordinator
+	sub     Submitter
 	problem string
 	inner   core.StatefulEvaluator
 
@@ -36,16 +36,18 @@ type RemoteEvaluator struct {
 
 // NewRemoteEvaluator wraps inner, which must export its generator
 // state (core.StatefulEvaluator) — without that the fleet could not
-// resume the measurement stream where the local engine left it.
-func NewRemoteEvaluator(coord *Coordinator, problem string, inner core.Evaluator) (*RemoteEvaluator, error) {
+// resume the measurement stream where the local engine left it. sub is
+// either the embedded *Coordinator or a *Client against a resident
+// fleetd.
+func NewRemoteEvaluator(sub Submitter, problem string, inner core.Evaluator) (*RemoteEvaluator, error) {
 	st, ok := inner.(core.StatefulEvaluator)
 	if !ok {
 		return nil, fmt.Errorf("fleet: evaluator for %s does not export state; cannot offload to the fleet", problem)
 	}
-	if coord == nil {
-		return nil, errors.New("fleet: nil coordinator")
+	if sub == nil {
+		return nil, errors.New("fleet: nil submitter")
 	}
-	return &RemoteEvaluator{coord: coord, problem: problem, inner: st}, nil
+	return &RemoteEvaluator{sub: sub, problem: problem, inner: st}, nil
 }
 
 // Evaluate measures one configuration remotely (a batch of one).
@@ -70,7 +72,7 @@ func (e *RemoteEvaluator) EvaluateBatch(ctx context.Context, cfgs []space.Config
 		configs[i] = []int(c)
 	}
 	key := fmt.Sprintf("eval/%s/%d", e.problem, e.seq.Add(1))
-	job, err := e.coord.Submit([]TaskSpec{{
+	job, _, err := e.sub.SubmitTasks("", []TaskSpec{{
 		Key:  key,
 		Eval: &EvalTask{Problem: e.problem, State: e.inner.EvaluatorState(), Configs: configs},
 	}})
@@ -80,6 +82,9 @@ func (e *RemoteEvaluator) EvaluateBatch(ctx context.Context, cfgs []space.Config
 	results, err := job.Wait(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if len(results) != 1 {
+		return nil, fmt.Errorf("fleet: task %s returned %d results", key, len(results))
 	}
 	tr := results[0]
 	if tr.Failed != "" {

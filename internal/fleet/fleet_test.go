@@ -259,14 +259,69 @@ func TestCoordinatorCloseFailsPending(t *testing.T) {
 	job := mustSubmit(t, c, []TaskSpec{cellSpec("a", 0)})
 	c.Close()
 	results, err := job.Wait(context.Background())
-	if err != nil {
-		t.Fatalf("Wait: %v", err)
+	if !errors.Is(err, ErrCoordinatorClosed) {
+		t.Fatalf("Wait after Close: err = %v, want ErrCoordinatorClosed", err)
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("ErrCoordinatorClosed does not wrap ErrClosed: %v", err)
 	}
 	if results[0].Failed == "" {
 		t.Errorf("pending task survived Close: %+v", results[0])
 	}
 	if _, _, err := c.Register("late"); !errors.Is(err, ErrClosed) {
 		t.Errorf("Register after Close: %v", err)
+	}
+}
+
+// TestJobWaitShutdownVsContext pins the two interruption channels of
+// Wait apart: the submitter's own context error means abort, the
+// coordinator shutting down means reattach — conflating them was the
+// bug this distinction exists for.
+func TestJobWaitShutdownVsContext(t *testing.T) {
+	// Context path: a deadline fires while the coordinator is healthy.
+	c := New(testConfig())
+	job := mustSubmit(t, c, []TaskSpec{cellSpec("ctx", 0)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := job.Wait(ctx); !errors.Is(err, context.Canceled) || errors.Is(err, ErrClosed) {
+		t.Fatalf("ctx-canceled Wait: err = %v, want context.Canceled and not ErrClosed", err)
+	}
+	c.Close()
+
+	// Shutdown path: Close while a Wait blocks.
+	c2 := New(testConfig())
+	job2 := mustSubmit(t, c2, []TaskSpec{cellSpec("shut", 0)})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := job2.Wait(context.Background())
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c2.Close()
+	if err := <-errc; !errors.Is(err, ErrCoordinatorClosed) {
+		t.Fatalf("Wait across Close: err = %v, want ErrCoordinatorClosed", err)
+	}
+
+	// A job that finished before the shutdown is not retroactively
+	// interrupted: its results are complete and its error nil.
+	c3 := New(testConfig())
+	job3 := mustSubmit(t, c3, []TaskSpec{cellSpec("fin", 0)})
+	id, _, err := c3.Register("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := c3.Lease(id)
+	if err != nil || spec == nil {
+		t.Fatalf("Lease: %v %v", spec, err)
+	}
+	payload, _ := json.Marshal(map[string]int{"ok": 1})
+	if _, err := c3.Complete(id, spec.Key, payload, Checksum(payload), 0); err != nil {
+		t.Fatal(err)
+	}
+	c3.Halt()
+	results, err := job3.Wait(context.Background())
+	if err != nil || len(results) != 1 || results[0].Failed != "" {
+		t.Fatalf("finished job across Halt: results=%+v err=%v", results, err)
 	}
 }
 

@@ -79,6 +79,41 @@ type FailResponse struct {
 	Status string `json:"status"`
 }
 
+// SubmitJobRequest submits specs as one job. A non-empty ID makes the
+// call submit-or-attach (the durable resume primitive); empty submits
+// a fresh auto-named job.
+type SubmitJobRequest struct {
+	ID    string     `json:"id,omitempty"`
+	Specs []TaskSpec `json:"specs"`
+}
+
+// SubmitJobResponse names the job and reports whether the submission
+// attached to a surviving job instead of enqueuing a new one.
+type SubmitJobResponse struct {
+	Job      string `json:"job"`
+	Attached bool   `json:"attached,omitempty"`
+	Total    int    `json:"total"`
+}
+
+// JobStatusResponse is one job's progress. Results is populated only
+// once Done — the submitter polls until then, reads the results, and
+// releases the job with DELETE.
+type JobStatusResponse struct {
+	Job       string       `json:"job"`
+	Total     int          `json:"total"`
+	Remaining int          `json:"remaining"`
+	Done      bool         `json:"done"`
+	Results   []TaskResult `json:"results,omitempty"`
+}
+
+// RecoveredResponse lists the task keys the boot-time journal replay
+// restored — the failover drill's evidence that completed cells were
+// never re-evaluated.
+type RecoveredResponse struct {
+	Completed []string `json:"completed,omitempty"`
+	Requeued  []string `json:"requeued,omitempty"`
+}
+
 type fleetErrorBody struct {
 	Error string `json:"error"`
 }
@@ -93,6 +128,13 @@ type fleetErrorBody struct {
 //	POST   /fleet/fail          report an execution failure
 //	GET    /fleet/stats         counters
 //	GET    /healthz             liveness
+//
+// and the submitter-facing job API (what fleet.Client speaks):
+//
+//	POST   /fleet/jobs          submit, or submit-or-attach with an ID
+//	GET    /fleet/jobs/{id}     progress; results once done (IDs may contain slashes)
+//	DELETE /fleet/jobs/{id}     release the job's keys (idempotent)
+//	GET    /fleet/recovered     keys restored by the boot journal replay
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /fleet/workers", c.handleRegister)
@@ -102,6 +144,10 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /fleet/complete", c.handleComplete)
 	mux.HandleFunc("POST /fleet/fail", c.handleFail)
 	mux.HandleFunc("GET /fleet/stats", c.handleStats)
+	mux.HandleFunc("POST /fleet/jobs", c.handleSubmitJob)
+	mux.HandleFunc("GET /fleet/jobs/{id...}", c.handleJobStatus)
+	mux.HandleFunc("DELETE /fleet/jobs/{id...}", c.handleReleaseJob)
+	mux.HandleFunc("GET /fleet/recovered", c.handleRecovered)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fleetWriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -121,7 +167,7 @@ func fleetWriteError(w http.ResponseWriter, status int, err error) {
 // fleetErrStatus maps a coordinator error to an HTTP status.
 func fleetErrStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownWorker):
+	case errors.Is(err, ErrUnknownWorker), errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
@@ -233,4 +279,56 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	fleetWriteJSON(w, http.StatusOK, c.Stats())
+}
+
+func (c *Coordinator) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req SubmitJobRequest
+	if err := fleetDecodeBody(r, &req); err != nil {
+		fleetWriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	h, attached, err := c.SubmitTasks(req.ID, req.Specs)
+	if err != nil {
+		code := fleetErrStatus(err)
+		if code == http.StatusInternalServerError {
+			// Key collisions, spec-fingerprint mismatches, invalid
+			// specs: the submission conflicts with coordinator state.
+			code = http.StatusConflict
+		}
+		fleetWriteError(w, code, err)
+		return
+	}
+	j := h.(*Job)
+	total, _ := j.progress()
+	fleetWriteJSON(w, http.StatusCreated, SubmitJobResponse{Job: j.ID(), Attached: attached, Total: total})
+}
+
+func (c *Coordinator) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := c.Attach(r.PathValue("id"))
+	if err != nil {
+		fleetWriteError(w, fleetErrStatus(err), err)
+		return
+	}
+	total, remaining := j.progress()
+	resp := JobStatusResponse{Job: j.ID(), Total: total, Remaining: remaining, Done: remaining == 0}
+	if resp.Done {
+		// A peek, not a release: the client reads the results and then
+		// releases with DELETE, so a client crash between the two never
+		// loses collected work.
+		resp.Results = j.collect(false)
+	}
+	fleetWriteJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleReleaseJob(w http.ResponseWriter, r *http.Request) {
+	if j, err := c.Attach(r.PathValue("id")); err == nil {
+		j.collect(true)
+	}
+	// Unknown means already released — DELETE is idempotent.
+	fleetWriteJSON(w, http.StatusOK, map[string]string{"status": "released"})
+}
+
+func (c *Coordinator) handleRecovered(w http.ResponseWriter, r *http.Request) {
+	completed, requeued := c.Recovered()
+	fleetWriteJSON(w, http.StatusOK, RecoveredResponse{Completed: completed, Requeued: requeued})
 }

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // Runner executes leased tasks. The fleet package defines the
@@ -247,9 +249,42 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// registerBackoff schedules a worker's re-registration retries: capped
+// exponential with multiplicative jitter drawn from a generator seeded
+// by the worker's name. When a restarted coordinator comes back, every
+// resident worker notices within the same heartbeat window — without
+// jitter they would all retry in lockstep forever (the retry period is
+// deterministic), hammering the recovering coordinator as a thundering
+// herd. Seeding from the name keeps each worker's schedule unique
+// across the fleet yet reproducible in tests.
+type registerBackoff struct {
+	r    *rng.RNG
+	next time.Duration
+	max  time.Duration
+}
+
+func newRegisterBackoff(name string) *registerBackoff {
+	return &registerBackoff{
+		r:    rng.New(Checksum([]byte(name))),
+		next: 50 * time.Millisecond,
+		max:  2 * time.Second,
+	}
+}
+
+// delay returns the next wait: the current exponential step scaled
+// into [0.5x, 1.5x).
+func (b *registerBackoff) delay() time.Duration {
+	d := time.Duration(float64(b.next) * b.r.Uniform(0.5, 1.5))
+	b.next *= 2
+	if b.next > b.max {
+		b.next = b.max
+	}
+	return d
+}
+
 // register retries until admitted, ctx cancelled, or killed.
 func (w *Worker) register(ctx context.Context) (string, Config, error) {
-	backoff := 50 * time.Millisecond
+	bo := newRegisterBackoff(w.name())
 	warned := false
 	for {
 		if w.killed() {
@@ -273,13 +308,7 @@ func (w *Worker) register(ctx context.Context) (string, Config, error) {
 			w.logf("fleet: coordinator unreachable (%v, status %d), retrying", err, status)
 			warned = true
 		}
-		if !w.sleep(ctx, backoff) {
-			continue // re-check exit conditions at the top
-		}
-		backoff *= 2
-		if backoff > 2*time.Second {
-			backoff = 2 * time.Second
-		}
+		w.sleep(ctx, bo.delay())
 	}
 }
 

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// chaosDriver drives one session like api.drive, but wraps every
+// operation in client-side faults: each ask is preceded by a doomed
+// ask whose connection is dropped before the response is read, each
+// tell is preceded by a stalled duplicate that dies halfway through
+// its body, and each successful tell is retransmitted verbatim — the
+// lost-response retry a real client performs. The protocol absorbs all
+// of it: asks are idempotent, a truncated body never reaches the
+// session, and the tell cache replays the original response.
+type chaosDriver struct {
+	t    *testing.T
+	a    *api
+	id   string
+	tcp  string // raw listener address for half-open connections
+	dups int    // retransmitted tells
+}
+
+// droppedAsk POSTs the ask and severs the connection without reading
+// the response, modeling a client that dies between send and receive.
+// The server still advances nothing: asking is a read of the pending
+// batch.
+func (d *chaosDriver) droppedAsk() {
+	d.t.Helper()
+	conn, err := net.Dial("tcp", d.tcp)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "POST /sessions/%s/ask HTTP/1.1\r\nHost: chaos\r\nContent-Length: 0\r\n\r\n", d.id)
+	// Give the server a beat to process before the hangup lands.
+	time.Sleep(5 * time.Millisecond)
+	conn.Close()
+}
+
+// stalledTell writes the headers and half the tell body, stalls, and
+// drops the connection — the mid-flight client crash. The server reads
+// a truncated JSON document and must reject it without touching the
+// session cursor.
+func (d *chaosDriver) stalledTell(req *TellRequest) {
+	d.t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", d.tcp)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "POST /sessions/%s/tell HTTP/1.1\r\nHost: chaos\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n",
+		d.id, len(body))
+	conn.Write(body[:len(body)/2])
+	time.Sleep(5 * time.Millisecond)
+	conn.Close()
+}
+
+// drive runs the session to completion under the fault schedule and
+// returns the label curve.
+func (d *chaosDriver) drive() []float64 {
+	d.t.Helper()
+	var curve []float64
+	for i := 0; ; i++ {
+		d.droppedAsk()
+		var ask AskResponse
+		if code := d.a.do("POST", "/sessions/"+d.id+"/ask", nil, &ask); code != http.StatusOK {
+			d.t.Fatalf("ask: status %d", code)
+		}
+		if i == 1 {
+			// Mid-batch re-ask: the pending batch must come back
+			// unchanged, not a fresh draw.
+			var again AskResponse
+			d.a.do("POST", "/sessions/"+d.id+"/ask", nil, &again)
+			if again.Batch != ask.Batch || again.Step != ask.Step || len(again.Configs) != len(ask.Configs) {
+				d.t.Fatalf("re-ask drew a different batch: %+v vs %+v", again, ask)
+			}
+		}
+		if ask.Done {
+			return curve
+		}
+		labels := labelConfigs(ask.Configs)
+		for _, l := range labels {
+			curve = append(curve, l.Y)
+		}
+		req := &TellRequest{Batch: ask.Batch, Step: ask.Step, Labels: labels}
+		d.stalledTell(req)
+		var tell, replay TellResponse
+		if code := d.a.do("POST", "/sessions/"+d.id+"/tell", req, &tell); code != http.StatusOK {
+			d.t.Fatalf("tell: status %d", code)
+		}
+		// Retransmit as if the response above was lost on the wire.
+		if code := d.a.do("POST", "/sessions/"+d.id+"/tell", req, &replay); code != http.StatusOK {
+			d.t.Fatalf("retransmit: status %d", code)
+		}
+		if replay != tell {
+			d.t.Fatalf("retransmit diverged: %+v vs %+v", replay, tell)
+		}
+		d.dups++
+		if tell.Done {
+			return curve
+		}
+	}
+}
+
+// TestServerChaosClientFaults is the client-fault drill: a session
+// driven by a client that drops connections mid-ask, stalls and dies
+// mid-tell, and retransmits every tell must converge to exactly the
+// curve of an undisturbed client on an identical manifest — every
+// fault absorbed by idempotency, none by state corruption.
+func TestServerChaosClientFaults(t *testing.T) {
+	clean := NewManager(Config{})
+	ca := newAPI(t, clean)
+	var ref CreateResponse
+	if code := ca.do("POST", "/sessions", testCreate("calm"), &ref); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	want := ca.drive(ref.ID)
+
+	m := NewManager(Config{})
+	a := newAPI(t, m)
+	var created CreateResponse
+	if code := a.do("POST", "/sessions", testCreate("chaos"), &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	d := &chaosDriver{t: t, a: a, id: created.ID,
+		tcp: a.srv.Listener.Addr().String()}
+	got := d.drive()
+
+	if len(got) != len(want) {
+		t.Fatalf("chaotic client drove %d labels, undisturbed %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("curves diverge at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	var ci, wi SessionInfo
+	a.do("GET", "/sessions/"+created.ID+"/model", nil, &ci)
+	ca.do("GET", "/sessions/"+ref.ID+"/model", nil, &wi)
+	if !ci.Done || ci.Samples != wi.Samples || ci.BestY != wi.BestY {
+		t.Fatalf("final state diverged: %+v vs %+v", ci, wi)
+	}
+
+	var stats Stats
+	a.do("GET", "/stats", nil, &stats)
+	if stats.TellReplays != int64(d.dups) {
+		t.Errorf("TellReplays = %d, want %d (one per retransmission)", stats.TellReplays, d.dups)
+	}
+	if stats.TellConflicts != 0 {
+		t.Errorf("TellConflicts = %d: a fault leaked into the cursor", stats.TellConflicts)
+	}
+}
